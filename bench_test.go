@@ -1,0 +1,299 @@
+package ring_test
+
+// The benchmark harness of the reproduction: one benchmark per table
+// and figure of the paper's evaluation (driving the calibrated
+// discrete-event simulator or the analytic models), plus live
+// benchmarks that measure the actual Go implementation end to end over
+// the in-memory fabric. EXPERIMENTS.md records paper-vs-measured
+// values for each.
+//
+// The figure benchmarks report their headline numbers via
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the
+// whole evaluation.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"ring"
+	"ring/internal/experiments"
+	"ring/internal/reliability"
+	"ring/internal/workload"
+)
+
+// benchBurst keeps the simulated saturation windows short enough for
+// the full suite to run in minutes while still far exceeding every
+// scheme's queue drain time.
+const benchBurst = 20 * time.Millisecond
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(benchBurst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[1].PutLatencyX, "rep3-putlat-x")
+		b.ReportMetric(rows[2].PutLatencyX, "rs32-putlat-x")
+		b.ReportMetric(rows[1].PutThroughputX, "rep3-tput-x")
+		b.ReportMetric(rows[2].PutThroughputX, "rs32-tput-x")
+	}
+}
+
+func BenchmarkFig2Reliability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig2Reliability(reliability.Params{})
+		for _, p := range pts {
+			if p.K == 3 && p.M == 1 && p.S == 3 {
+				b.ReportMetric(p.Nines, "rs31-nines")
+			}
+			if p.K == 3 && p.M == 1 && p.S == 7 {
+				b.ReportMetric(p.Nines, "srs317-nines")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7PutLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig7Put(15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Label == "REP1" || s.Label == "SRS32" {
+				// 1 KiB is index 9 (sizes 2^1..2^11).
+				b.ReportMetric(float64(s.Points[9].Median)/1e3, s.Label+"-put1KiB-µs")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7GetLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Fig7Get(15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(s.Points[9].Median)/1e3, "get1KiB-µs")
+	}
+}
+
+func BenchmarkFig7cBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series := experiments.Fig7c()
+		for _, s := range series {
+			if s.Label == "memcached put" {
+				b.ReportMetric(float64(s.Points[9].Median)/1e3, "memcached-put-µs")
+			}
+			if s.Label == "RAMCloud put" {
+				b.ReportMetric(float64(s.Points[9].Median)/1e3, "ramcloud-put-µs")
+			}
+		}
+	}
+}
+
+func BenchmarkFig8MoveLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig8Move(15)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			if s.Label == "to REP1" || s.Label == "to SRS32" {
+				name := strings.ReplaceAll(s.Label, " ", "-")
+				b.ReportMetric(float64(s.Points[9].Median)/1e3, name+"-1KiB-µs")
+			}
+		}
+	}
+}
+
+func BenchmarkFig9Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		samples, err := experiments.Fig9(4, 400e3, benchBurst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range samples {
+			if s.Clients == 4 && (s.Label == "REP1" || s.Label == "REP3" || s.Label == "SRS32") {
+				b.ReportMetric(s.ReqsPerSec/1e3, s.Label+"-Kreq/s")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10Pricing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig10Pricing()
+		for _, r := range rows {
+			if r.Trace == "Financial1" && r.Class.String() == "cold" {
+				b.ReportMetric(r.Total, "financial1-cold-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig11Mixes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(benchBurst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Label == "REP1" && r.Mix == (workload.Mix{Get: 100, Put: 0}) {
+				b.ReportMetric(r.ReqsPerSec/1e3, "get-only-Kreq/s")
+			}
+			if r.Label == "REP1" && r.Mix == (workload.Mix{Get: 0, Put: 100}) {
+				b.ReportMetric(r.ReqsPerSec/1e3, "rep1-put-Kreq/s")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12Recovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig12Recovery([]int{512, 2048, 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(float64(last.Latency)/1e3, "recovery-µs")
+		b.ReportMetric(float64(last.MetaBytes)/1024, "metadata-KiB")
+	}
+}
+
+func BenchmarkFig13BlockRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig13BlockRecovery([]int{4096, 65536})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.BlockSize == 65536 {
+				b.ReportMetric(float64(p.Latency)/1e3, p.Scheme+"-64KiB-µs")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16Availability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := experiments.Fig16Availability(reliability.Params{})
+		for _, p := range pts {
+			if p.K == 2 && p.M == 1 && p.S == 3 {
+				b.ReportMetric(p.Nines, "srs213-nines")
+			}
+		}
+	}
+}
+
+// ----------------------------- ablation benchmarks -------------------
+
+func BenchmarkAblationMoveVsMigrate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationMoveVsMigrate(2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.MoveWireBytes), "move-wire-B")
+		b.ReportMetric(float64(res.MigrateWireBytes), "migrate-wire-B")
+		b.ReportMetric(float64(res.MoveLatency)/1e3, "move-µs")
+		b.ReportMetric(float64(res.MigrateLatency)/1e3, "migrate-µs")
+	}
+}
+
+func BenchmarkAblationQuorumVsSync(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationQuorumVsSync(4, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.QuorumPut)/1e3, "quorum-put-µs")
+		b.ReportMetric(float64(res.SyncPut)/1e3, "sync-put-µs")
+	}
+}
+
+func BenchmarkAblationBalance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationBalance()
+		b.ReportMetric(res.SingleGroup, "single-group-imbalance")
+		b.ReportMetric(res.Rotated, "rotated-imbalance")
+	}
+}
+
+// ------------------------- live (real execution) benchmarks ----------
+
+// liveCluster boots the paper deployment over the in-memory fabric for
+// real end-to-end measurements of the Go implementation.
+func liveCluster(b *testing.B) (*ring.Cluster, *ring.Client) {
+	b.Helper()
+	cl, err := ring.Start(ring.Config{
+		Shards: 3, Redundant: 2,
+		Memgests: []ring.Scheme{
+			ring.Rep(1, 3), ring.Rep(3, 3), ring.SRS(2, 1, 3), ring.SRS(3, 2, 3),
+		},
+		BlockSize: 4 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(cl.Stop)
+	c, err := cl.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	return cl, c
+}
+
+func benchLivePut(b *testing.B, mg ring.MemgestID, size int) {
+	_, c := liveCluster(b)
+	val := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.PutIn(fmt.Sprintf("k%d", i%4096), val, mg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLivePutREP1_1KiB(b *testing.B)  { benchLivePut(b, 1, 1024) }
+func BenchmarkLivePutREP3_1KiB(b *testing.B)  { benchLivePut(b, 2, 1024) }
+func BenchmarkLivePutSRS21_1KiB(b *testing.B) { benchLivePut(b, 3, 1024) }
+func BenchmarkLivePutSRS32_1KiB(b *testing.B) { benchLivePut(b, 4, 1024) }
+
+func BenchmarkLiveGet1KiB(b *testing.B) {
+	_, c := liveCluster(b)
+	val := make([]byte, 1024)
+	for i := 0; i < 256; i++ {
+		if _, err := c.PutIn(fmt.Sprintf("g%d", i), val, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Get(fmt.Sprintf("g%d", i%256)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLiveMoveSRS32toREP1_1KiB(b *testing.B) {
+	_, c := liveCluster(b)
+	val := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("m%d", i%1024)
+		b.StopTimer()
+		if _, err := c.PutIn(key, val, 4); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.Move(key, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

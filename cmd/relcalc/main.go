@@ -1,0 +1,91 @@
+// Command relcalc evaluates the fault-resilience models of Appendix A:
+// annual reliability (Figure 2) and interval availability (Figure 16)
+// of RS and Stretched Reed-Solomon codes, for configurable failure
+// rates and data volumes.
+//
+//	relcalc -mode reliability -lambda 12 -data 600GiB
+//	relcalc -mode availability
+//	relcalc -mode single -k 3 -m 2 -s 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"ring/internal/experiments"
+	"ring/internal/reliability"
+	"ring/internal/srs"
+)
+
+func main() {
+	mode := flag.String("mode", "reliability", "reliability | availability | single")
+	lambda := flag.Float64("lambda", 12, "per-node failure rate, per year")
+	data := flag.String("data", "600GiB", "data set size C (e.g. 600GiB)")
+	netBW := flag.Float64("net-bw", 5e9, "recovery network bandwidth, bytes/sec")
+	comp := flag.Float64("comp", 1e-9, "erasure compute seconds per byte")
+	k := flag.Int("k", 3, "single mode: RS data blocks")
+	m := flag.Int("m", 2, "single mode: RS parity blocks")
+	s := flag.Int("s", 3, "single mode: stretch factor")
+	flag.Parse()
+
+	bytes, err := parseSize(*data)
+	if err != nil {
+		log.Fatalf("relcalc: %v", err)
+	}
+	params := reliability.Params{
+		Lambda:         *lambda,
+		DataBytes:      bytes,
+		NetBytesPerSec: *netBW,
+		CompSecPerByte: *comp,
+	}
+	fmt.Printf("params: lambda=%.2f/year  C=%s  mu=%.0f/year (T_reconst=%.0fs)\n\n",
+		params.Lambda, *data, params.Mu(), 365.25*24*3600/params.Mu())
+
+	switch *mode {
+	case "reliability":
+		fmt.Print(experiments.FormatFig2(experiments.Fig2Reliability(params)))
+	case "availability":
+		fmt.Print(experiments.FormatFig16(experiments.Fig16Availability(params)))
+	case "single":
+		layout, err := srs.NewLayout(*k, *m, *s)
+		if err != nil {
+			log.Fatalf("relcalc: %v", err)
+		}
+		chain := reliability.SRSChain(layout, params)
+		r := chain.Reliability(1)
+		av := chain.Repairable(params.Mu()).IntervalAvailability(1)
+		fmt.Printf("%s:\n", layout)
+		fmt.Printf("  annual reliability:    %.10f (%.2f nines)\n", r, reliability.Nines(r))
+		fmt.Printf("  interval availability: %.10f (%.2f nines)\n", av, reliability.Nines(av))
+		fmt.Printf("  storage overhead:      %.2fx\n", layout.StorageOverhead())
+		fmt.Printf("  guaranteed tolerance:  %d failures (up to %d when blocks are independent)\n",
+			layout.M, layout.MaxTolerated())
+		for i := 1; i <= layout.MaxTolerated(); i++ {
+			fmt.Printf("  P(survive %d simultaneous failures) = %.4f\n", i, layout.TolerationProbability(i))
+		}
+	default:
+		log.Fatalf("relcalc: unknown mode %q", *mode)
+	}
+}
+
+func parseSize(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	mult := 1.0
+	for suffix, m := range map[string]float64{
+		"KiB": 1 << 10, "MiB": 1 << 20, "GiB": 1 << 30, "TiB": 1 << 40,
+	} {
+		if strings.HasSuffix(s, suffix) {
+			mult = m
+			s = strings.TrimSuffix(s, suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

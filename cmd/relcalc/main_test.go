@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"1024", 1024},
+		{"4KiB", 4096},
+		{"2MiB", 2 << 20},
+		{"600GiB", 600 * (1 << 30)},
+		{"1TiB", 1 << 40},
+		{" 8KiB ", 8192},
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("parseSize(%q) = %v, %v; want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"", "GiB", "12QiB", "x"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command ringctl is the command-line client for a Ring deployment
+// started with ringd.
+//
+//	ringctl -nodes host0:7000,host1:7000 put mykey "some value"
+//	ringctl -nodes host0:7000 put-in 3 mykey "erasure coded value"
+//	ringctl -nodes host0:7000 get mykey
+//	ringctl -nodes host0:7000 move mykey 2
+//	ringctl -nodes host0:7000 delete mykey
+//	ringctl -nodes host0:7000 mkmemgest srs3.2
+//	ringctl -nodes host0:7000 rmmemgest 4
+//	ringctl -nodes host0:7000 set-default 2
+//	ringctl -nodes host0:7000 describe 2
+//	ringctl -nodes host0:7000 config
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"ring/internal/client"
+	"ring/internal/core"
+	"ring/internal/proto"
+	"ring/internal/transport"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ringctl -nodes addr[,addr...] <command> [args]")
+	fmt.Fprintln(os.Stderr, "commands: put, put-in, get, delete, move, mkmemgest, rmmemgest, set-default, describe, config")
+	os.Exit(2)
+}
+
+func main() {
+	nodes := flag.String("nodes", "127.0.0.1:7000", "comma-separated node addresses, in ID order")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	fabric := transport.NewTCPFabric()
+	var bootstrap []string
+	for i, a := range strings.Split(*nodes, ",") {
+		logical := core.NodeAddr(proto.NodeID(i))
+		fabric.Map(logical, strings.TrimSpace(a))
+		bootstrap = append(bootstrap, logical)
+	}
+	// The client's own endpoint listens on an ephemeral port; servers
+	// reply over the inbound connection, so no reverse mapping exists.
+	fabric.Map("client/1", "127.0.0.1:0")
+
+	c, err := client.Dial(fabric, bootstrap, client.Options{})
+	if err != nil {
+		log.Fatalf("ringctl: %v", err)
+	}
+	defer c.Close()
+
+	die := func(err error) {
+		if err != nil {
+			log.Fatalf("ringctl: %v", err)
+		}
+	}
+	need := func(n int) {
+		if len(args) != n+1 {
+			usage()
+		}
+	}
+	parseMg := func(s string) proto.MemgestID {
+		v, err := strconv.ParseUint(s, 10, 32)
+		die(err)
+		return proto.MemgestID(v)
+	}
+
+	switch args[0] {
+	case "put":
+		need(2)
+		ver, err := c.Put(args[1], []byte(args[2]))
+		die(err)
+		fmt.Printf("OK version=%d\n", ver)
+	case "put-in":
+		need(3)
+		ver, err := c.PutIn(args[2], []byte(args[3]), parseMg(args[1]))
+		die(err)
+		fmt.Printf("OK version=%d\n", ver)
+	case "get":
+		need(1)
+		val, ver, err := c.Get(args[1])
+		die(err)
+		fmt.Printf("version=%d value=%q\n", ver, val)
+	case "delete":
+		need(1)
+		die(c.Delete(args[1]))
+		fmt.Println("OK")
+	case "move":
+		need(2)
+		ver, err := c.Move(args[1], parseMg(args[2]))
+		die(err)
+		fmt.Printf("OK version=%d\n", ver)
+	case "mkmemgest":
+		need(1)
+		sc, err := parseScheme(args[1])
+		die(err)
+		sc.S = c.Config().Shards() // every memgest shares the group's s
+		id, err := c.CreateMemgest(sc)
+		die(err)
+		fmt.Printf("OK memgest=%d (%v)\n", id, sc)
+	case "rmmemgest":
+		need(1)
+		die(c.DeleteMemgest(parseMg(args[1])))
+		fmt.Println("OK")
+	case "set-default":
+		need(1)
+		die(c.SetDefaultMemgest(parseMg(args[1])))
+		fmt.Println("OK")
+	case "describe":
+		need(1)
+		sc, err := c.GetMemgestDescriptor(parseMg(args[1]))
+		die(err)
+		fmt.Printf("%v (tolerates %d failures, %.2fx storage)\n", sc, sc.Tolerates(), sc.StorageOverhead())
+	case "config":
+		cfg := c.Config()
+		fmt.Printf("epoch=%d leader=node/%d default=%d\n", cfg.Epoch, cfg.Leader, cfg.Default)
+		fmt.Printf("coordinators=%v redundant=%v spares=%v\n", cfg.Coords, cfg.Redundant, cfg.Spares)
+		for _, m := range cfg.Memgests {
+			fmt.Printf("  memgest %d: %v redundant=%v\n", m.ID, m.Scheme, m.Redundant)
+		}
+	default:
+		usage()
+	}
+}
+
+// parseScheme parses repR or srsK.M. The shard count s is implicit:
+// the caller patches it from the cluster configuration, since every
+// memgest in a group must share it.
+func parseScheme(tok string) (proto.Scheme, error) {
+	tok = strings.ToLower(strings.TrimSpace(tok))
+	switch {
+	case strings.HasPrefix(tok, "rep"):
+		r, err := strconv.Atoi(tok[3:])
+		if err != nil {
+			return proto.Scheme{}, fmt.Errorf("bad scheme %q", tok)
+		}
+		return proto.Rep(r, 0), nil // s patched below by caller config
+	case strings.HasPrefix(tok, "srs"):
+		parts := strings.SplitN(tok[3:], ".", 2)
+		if len(parts) != 2 {
+			return proto.Scheme{}, fmt.Errorf("bad scheme %q (want srsK.M)", tok)
+		}
+		k, err1 := strconv.Atoi(parts[0])
+		m, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return proto.Scheme{}, fmt.Errorf("bad scheme %q", tok)
+		}
+		return proto.SRS(k, m, 0), nil
+	}
+	return proto.Scheme{}, fmt.Errorf("unknown scheme %q", tok)
+}

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"testing"
+
+	"ring/internal/proto"
+)
+
+func TestParseScheme(t *testing.T) {
+	sc, err := parseScheme("rep3")
+	if err != nil || sc.Kind != proto.SchemeRep || sc.R != 3 {
+		t.Fatalf("rep3: %v %v", sc, err)
+	}
+	sc, err = parseScheme(" SRS3.2 ")
+	if err != nil || sc.Kind != proto.SchemeSRS || sc.K != 3 || sc.M != 2 {
+		t.Fatalf("srs3.2: %v %v", sc, err)
+	}
+	for _, bad := range []string{"", "rep", "repq", "srs", "srs3", "srs3.", "srs.2", "raid5"} {
+		if _, err := parseScheme(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

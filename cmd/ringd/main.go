@@ -1,0 +1,127 @@
+// Command ringd runs one Ring server node over TCP.
+//
+// Every node of a deployment is started with the same -nodes list (the
+// TCP addresses of all nodes, in node-ID order), the same role counts,
+// and the same -memgests list, plus its own -id:
+//
+//	ringd -id 0 -nodes host0:7000,host1:7000,host2:7000,host3:7000,host4:7000 \
+//	      -shards 3 -redundant 2 -memgests rep1,rep3,srs3.2
+//
+// Node IDs 0..shards-1 are coordinators, the next `redundant` are
+// redundancy nodes, and the rest are spares. Memgest descriptors are
+// comma-separated: repR (replication factor R) or srsK.M (SRS(K,M,s)).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ring/internal/core"
+	"ring/internal/proto"
+	"ring/internal/status"
+	"ring/internal/transport"
+)
+
+func main() {
+	id := flag.Uint("id", 0, "this node's ID (index into -nodes)")
+	nodes := flag.String("nodes", "", "comma-separated TCP addresses of all nodes, in ID order")
+	shards := flag.Int("shards", 3, "number of key shards (coordinator nodes)")
+	redundant := flag.Int("redundant", 2, "number of redundancy nodes")
+	memgests := flag.String("memgests", "rep1", "comma-separated schemes: repR or srsK.M")
+	blockSize := flag.Int("block-size", 64<<10, "SRS logical block size in bytes")
+	heartbeat := flag.Duration("heartbeat", 50*time.Millisecond, "leader heartbeat period")
+	failAfter := flag.Duration("fail-after", 250*time.Millisecond, "failure detection threshold")
+	httpAddr := flag.String("http", "", "optional HTTP monitoring address serving /status and /metrics (e.g. :8080)")
+	flag.Parse()
+
+	addrs := strings.Split(*nodes, ",")
+	if *nodes == "" || len(addrs) < *shards+*redundant {
+		log.Fatalf("ringd: -nodes must list at least shards+redundant (%d) addresses", *shards+*redundant)
+	}
+	if int(*id) >= len(addrs) {
+		log.Fatalf("ringd: -id %d out of range for %d nodes", *id, len(addrs))
+	}
+	schemes, err := parseMemgests(*memgests, *shards)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := core.ClusterSpec{
+		Shards:    *shards,
+		Redundant: *redundant,
+		Spares:    len(addrs) - *shards - *redundant,
+		Memgests:  schemes,
+		Opts: core.Options{
+			BlockSize:      *blockSize,
+			HeartbeatEvery: *heartbeat,
+			FailAfter:      *failAfter,
+		},
+	}
+	cfg, err := core.BootConfig(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fabric := transport.NewTCPFabric()
+	for i, a := range addrs {
+		fabric.Map(core.NodeAddr(proto.NodeID(i)), strings.TrimSpace(a))
+	}
+	node := core.New(proto.NodeID(*id), cfg, spec.Opts)
+	runner, err := core.StartRunner(node, fabric, 0)
+	if err != nil {
+		log.Fatalf("ringd: %v", err)
+	}
+	log.Printf("ringd: node %d listening on %s (%d shards, %d redundant, %d spares, %d memgests)",
+		*id, addrs[*id], *shards, *redundant, spec.Spares, len(schemes))
+	if *httpAddr != "" {
+		mon, err := status.Serve(runner, *httpAddr)
+		if err != nil {
+			log.Fatalf("ringd: %v", err)
+		}
+		defer mon.Close()
+		log.Printf("ringd: monitoring on http://%s/status", mon.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	runner.Stop()
+	log.Printf("ringd: node %d stopped", *id)
+}
+
+// parseMemgests parses "rep1,rep3,srs3.2" into scheme descriptors.
+func parseMemgests(s string, shards int) ([]proto.Scheme, error) {
+	var out []proto.Scheme
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(strings.ToLower(tok))
+		switch {
+		case strings.HasPrefix(tok, "rep"):
+			r, err := strconv.Atoi(tok[3:])
+			if err != nil {
+				return nil, fmt.Errorf("ringd: bad memgest %q", tok)
+			}
+			out = append(out, proto.Rep(r, shards))
+		case strings.HasPrefix(tok, "srs"):
+			parts := strings.SplitN(tok[3:], ".", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("ringd: bad memgest %q (want srsK.M)", tok)
+			}
+			k, err1 := strconv.Atoi(parts[0])
+			m, err2 := strconv.Atoi(parts[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("ringd: bad memgest %q", tok)
+			}
+			out = append(out, proto.SRS(k, m, shards))
+		default:
+			return nil, fmt.Errorf("ringd: unknown memgest %q", tok)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"ring/internal/proto"
+)
+
+func TestParseMemgests(t *testing.T) {
+	got, err := parseMemgests("rep1, rep3 ,srs3.2, SRS2.1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []proto.Scheme{proto.Rep(1, 3), proto.Rep(3, 3), proto.SRS(3, 2, 3), proto.SRS(2, 1, 3)}
+	if len(got) != len(want) {
+		t.Fatalf("%d schemes", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scheme %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseMemgestsErrors(t *testing.T) {
+	for _, bad := range []string{"", "repx", "srs3", "srs3.x", "paxos", "srsa.b"} {
+		if _, err := parseMemgests(bad, 3); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

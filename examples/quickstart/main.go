@@ -1,0 +1,81 @@
+// Quickstart: boot the paper's 5-node deployment (3 coordinators, 2
+// redundancy nodes) with the seven memgests of Figure 3, then walk a
+// key through the API: put, get, move across resilience levels,
+// runtime memgest creation, and delete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ring"
+)
+
+func main() {
+	cluster, err := ring.Start(ring.Config{
+		Shards: 3, Redundant: 2, Spares: 1,
+		Memgests: []ring.Scheme{
+			ring.Rep(1, 3),    // 1: unreliable, fastest
+			ring.Rep(2, 3),    // 2
+			ring.Rep(3, 3),    // 3: classic triplication
+			ring.Rep(4, 3),    // 4
+			ring.SRS(2, 1, 3), // 5: stretched RS(2,1)
+			ring.SRS(3, 1, 3), // 6
+			ring.SRS(3, 2, 3), // 7: RS(3,2), 1.66x storage
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	c, err := cluster.NewClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Put into the default memgest (the unreliable Rep(1,3)).
+	ver, err := c.Put("user:42", []byte(`{"name":"ada"}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("put user:42 -> version %d in Rep(1,3)\n", ver)
+
+	// The key's importance grew: replicate it three-fold. The value is
+	// not resent — the coordinator re-homes it locally.
+	if ver, err = c.Move("user:42", 3); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("move user:42 -> version %d in Rep(3,3)\n", ver)
+
+	// It cooled down: erasure-code it to cut memory from 3x to 1.66x.
+	if ver, err = c.Move("user:42", 7); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("move user:42 -> version %d in SRS(3,2,3)\n", ver)
+
+	// Reads never need to know the storage scheme.
+	val, ver, err := c.Get("user:42")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get user:42 -> %s (version %d)\n", val, ver)
+
+	// Storage schemes are managed at runtime.
+	id, err := c.CreateMemgest(ring.SRS(2, 2, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, _ := c.GetMemgestDescriptor(id)
+	fmt.Printf("created memgest %d: %v (tolerates %d failures, %.2fx storage)\n",
+		id, sc, sc.Tolerates(), sc.StorageOverhead())
+	if _, err := c.PutIn("config:theme", []byte("dark"), id); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := c.Delete("user:42"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deleted user:42")
+}

@@ -1,0 +1,3 @@
+module ring
+
+go 1.22

@@ -1,0 +1,177 @@
+// Package balance implements the load- and memory-balancing analysis
+// of Section 5.4. A single memgest group concentrates parity data and
+// parity work on the d redundancy nodes (the unfilled rectangles of
+// Figure 3); creating s+d memgest groups and rotating their role
+// assignment round-robin over the nodes equalizes both memory and
+// recovery workload. This package computes the rotated assignments and
+// quantifies the imbalance either layout produces for a set of
+// schemes, which is what the ablation benchmark reports.
+package balance
+
+import (
+	"fmt"
+
+	"ring/internal/proto"
+)
+
+// Assignment maps the roles of one memgest group onto physical nodes.
+type Assignment struct {
+	// Coords[i] is the node coordinating shard i.
+	Coords []proto.NodeID
+	// Redundant[j] is the j-th redundancy node.
+	Redundant []proto.NodeID
+}
+
+// Rotated returns the s+d rotated assignments of Section 5.4: group g
+// assigns shard i to node (g+i) mod (s+d) and redundancy slot j to
+// node (g+s+j) mod (s+d). Every node coordinates s of the s+d groups
+// and serves as a redundancy node in the remaining d.
+func Rotated(s, d int) []Assignment {
+	if s < 1 || d < 0 {
+		panic(fmt.Sprintf("balance: invalid group shape s=%d d=%d", s, d))
+	}
+	n := s + d
+	out := make([]Assignment, n)
+	for g := 0; g < n; g++ {
+		a := Assignment{
+			Coords:    make([]proto.NodeID, s),
+			Redundant: make([]proto.NodeID, d),
+		}
+		for i := 0; i < s; i++ {
+			a.Coords[i] = proto.NodeID((g + i) % n)
+		}
+		for j := 0; j < d; j++ {
+			a.Redundant[j] = proto.NodeID((g + s + j) % n)
+		}
+		out[g] = a
+	}
+	return out
+}
+
+// Load is the per-node resource accounting of one layout.
+type Load struct {
+	// DataBytes is primary plus redundancy bytes stored.
+	DataBytes float64
+	// MetaBytes counts metadata hashtable bytes (parity nodes hold
+	// the metadata of every shard in their stripe).
+	MetaBytes float64
+	// PutWork counts messages handled per logical put (coordinator
+	// dispatch plus redundancy application).
+	PutWork float64
+}
+
+// schemeLoads returns per-role loads for one memgest of the given
+// scheme holding `data` primary bytes in total, with `meta` metadata
+// bytes per shard.
+//
+// Coordinator of shard i: data/s primary bytes, meta metadata, 1 unit
+// of put work per put. SRS parity node: data/k parity bytes (parity is
+// not stretched), s*meta metadata, and it participates in every put of
+// every shard. Rep replica: it holds a full copy of each shard it
+// replicates.
+func schemeLoads(sc proto.Scheme, data, meta float64) (coord, redundant Load) {
+	s := float64(sc.S)
+	coord = Load{DataBytes: data / s, MetaBytes: meta, PutWork: 1}
+	switch sc.Kind {
+	case proto.SchemeSRS:
+		redundant = Load{
+			DataBytes: data / float64(sc.K),
+			MetaBytes: s * meta,
+			PutWork:   s, // one parity update per put of any shard
+		}
+	case proto.SchemeRep:
+		// Each replica set takes the first r-1 redundancy candidates;
+		// with r-1 <= d every redundancy node replicates every shard
+		// it is chosen for. For the analysis we charge the average.
+		if sc.R > 1 {
+			redundant = Load{
+				DataBytes: data / s * float64(sc.R-1),
+				MetaBytes: s * meta,
+				PutWork:   s,
+			}
+		}
+	}
+	return coord, redundant
+}
+
+// Imbalance reports max/mean of a per-node metric; 1.0 is perfectly
+// balanced.
+func Imbalance(perNode []float64) float64 {
+	if len(perNode) == 0 {
+		return 1
+	}
+	max, sum := perNode[0], 0.0
+	for _, v := range perNode {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	mean := sum / float64(len(perNode))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// Analyze computes per-node memory loads for a set of schemes, each
+// holding `dataPerMemgest` bytes, under either a single group (the
+// Figure 3 layout) or the rotated layout. It returns the per-node
+// total bytes.
+func Analyze(schemes []proto.Scheme, s, d int, dataPerMemgest, metaPerShard float64, rotated bool) []float64 {
+	n := s + d
+	nodes := make([]float64, n)
+	groups := []Assignment{{
+		Coords:    seq(0, s),
+		Redundant: seq(s, d),
+	}}
+	if rotated {
+		groups = Rotated(s, d)
+	}
+	for gi, g := range groups {
+		// Shards are partitioned across groups: each group carries
+		// 1/len(groups) of the data.
+		frac := 1.0 / float64(len(groups))
+		_ = gi
+		for _, sc := range schemes {
+			coord, red := schemeLoads(sc, dataPerMemgest*frac, metaPerShard*frac)
+			for _, nd := range g.Coords {
+				nodes[nd] += coord.DataBytes + coord.MetaBytes
+			}
+			redCount := sc.RedundantNodes()
+			for j, nd := range g.Redundant {
+				if j >= redCount && sc.Kind == proto.SchemeSRS {
+					continue // only m parity nodes are used
+				}
+				share := 1.0
+				if sc.Kind == proto.SchemeRep {
+					// Replica bytes split across the chosen replicas.
+					if redCount == 0 {
+						continue
+					}
+					if j >= min(redCount, d) {
+						continue
+					}
+					share = 1 / float64(min(redCount, d))
+				}
+				nodes[nd] += (red.DataBytes + red.MetaBytes) * share
+			}
+		}
+	}
+	return nodes
+}
+
+func seq(start, n int) []proto.NodeID {
+	out := make([]proto.NodeID, n)
+	for i := range out {
+		out[i] = proto.NodeID(start + i)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

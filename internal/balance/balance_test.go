@@ -1,0 +1,107 @@
+package balance
+
+import (
+	"testing"
+
+	"ring/internal/proto"
+)
+
+func TestRotatedShape(t *testing.T) {
+	groups := Rotated(3, 2)
+	if len(groups) != 5 {
+		t.Fatalf("%d groups, want s+d=5", len(groups))
+	}
+	// Group 0 is the identity layout.
+	if groups[0].Coords[0] != 0 || groups[0].Redundant[0] != 3 {
+		t.Fatalf("group 0 wrong: %+v", groups[0])
+	}
+	// Group 1 is rotated by one.
+	if groups[1].Coords[0] != 1 || groups[1].Redundant[1] != 0 {
+		t.Fatalf("group 1 wrong: %+v", groups[1])
+	}
+}
+
+func TestRotatedIsBalanced(t *testing.T) {
+	// Every node must coordinate exactly s groups and be redundant in
+	// exactly d groups.
+	s, d := 3, 2
+	coordCount := make(map[proto.NodeID]int)
+	redCount := make(map[proto.NodeID]int)
+	for _, g := range Rotated(s, d) {
+		for _, n := range g.Coords {
+			coordCount[n]++
+		}
+		for _, n := range g.Redundant {
+			redCount[n]++
+		}
+	}
+	for n := proto.NodeID(0); n < 5; n++ {
+		if coordCount[n] != s {
+			t.Fatalf("node %d coordinates %d groups, want %d", n, coordCount[n], s)
+		}
+		if redCount[n] != d {
+			t.Fatalf("node %d redundant in %d groups, want %d", n, redCount[n], d)
+		}
+	}
+}
+
+func TestRotatedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape accepted")
+		}
+	}()
+	Rotated(0, 2)
+}
+
+func TestImbalance(t *testing.T) {
+	if got := Imbalance([]float64{1, 1, 1}); got != 1 {
+		t.Fatalf("balanced imbalance = %v", got)
+	}
+	if got := Imbalance([]float64{2, 1, 0}); got != 2 {
+		t.Fatalf("imbalance = %v, want 2", got)
+	}
+	if got := Imbalance(nil); got != 1 {
+		t.Fatal("empty input")
+	}
+	if got := Imbalance([]float64{0, 0}); got != 1 {
+		t.Fatal("zero metric")
+	}
+}
+
+func TestRotationRemovesImbalance(t *testing.T) {
+	// The Figure 3 memgest set on 5 nodes: a single group leaves the
+	// two redundancy nodes heavier (SRS parity is data/k > data/s, and
+	// they carry every scheme's redundancy); rotation equalizes.
+	schemes := []proto.Scheme{
+		proto.Rep(3, 3),
+		proto.SRS(2, 1, 3),
+		proto.SRS(3, 2, 3),
+	}
+	single := Analyze(schemes, 3, 2, 1e9, 1e6, false)
+	rotated := Analyze(schemes, 3, 2, 1e9, 1e6, true)
+	si, ri := Imbalance(single), Imbalance(rotated)
+	if si < 1.05 {
+		t.Fatalf("single group should be imbalanced, got %v", si)
+	}
+	if ri > 1.01 {
+		t.Fatalf("rotated layout should be balanced, got %v", ri)
+	}
+	// Total bytes must be conserved across layouts.
+	var ts, tr float64
+	for i := range single {
+		ts += single[i]
+		tr += rotated[i]
+	}
+	if d := ts - tr; d > 1e-3*ts || d < -1e-3*ts {
+		t.Fatalf("layouts store different totals: %v vs %v", ts, tr)
+	}
+}
+
+func TestAnalyzeUnreliableScheme(t *testing.T) {
+	// Rep(1) has no redundancy: all bytes on coordinators either way.
+	single := Analyze([]proto.Scheme{proto.Rep(1, 3)}, 3, 2, 9e8, 0, false)
+	if single[0] != 3e8 || single[3] != 0 {
+		t.Fatalf("Rep(1) distribution wrong: %v", single)
+	}
+}

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMemcachedLatencyBand(t *testing.T) {
+	// Paper: memcached put/get ~55 µs, ~10x Ring's REP1 (~5 µs).
+	m := Memcached()
+	for _, size := range []int{8, 512, 2048} {
+		if l := m.GetLatency(size); l < 40*time.Microsecond || l > 80*time.Microsecond {
+			t.Fatalf("memcached get(%d) = %v, want ~55µs", size, l)
+		}
+		if l := m.PutLatency(size); l < 40*time.Microsecond || l > 80*time.Microsecond {
+			t.Fatalf("memcached put(%d) = %v, want ~55µs", size, l)
+		}
+	}
+}
+
+func TestDareMatchesRingRegime(t *testing.T) {
+	// Dare gets are RDMA-fast (~5 µs), puts ~1 replication round.
+	d := Dare()
+	if l := d.GetLatency(1024); l < 3*time.Microsecond || l > 10*time.Microsecond {
+		t.Fatalf("Dare get = %v, want ~5µs", l)
+	}
+	if p, g := d.PutLatency(1024), d.GetLatency(1024); p < g || p > 4*g {
+		t.Fatalf("Dare put %v vs get %v out of regime", p, g)
+	}
+}
+
+func TestRAMCloudDiskDominatesPuts(t *testing.T) {
+	r := RAMCloud()
+	p := r.PutLatency(512)
+	if p < 35*time.Microsecond || p > 60*time.Microsecond {
+		t.Fatalf("RAMCloud put = %v, paper says ~45µs median", p)
+	}
+	// Gets stay RDMA-fast.
+	if g := r.GetLatency(512); g > 10*time.Microsecond {
+		t.Fatalf("RAMCloud get = %v", g)
+	}
+}
+
+func TestCocytusSlowestPutPath(t *testing.T) {
+	c := Cocytus()
+	d := Dare()
+	if c.PutLatency(1024) < 5*d.PutLatency(1024) {
+		t.Fatalf("Cocytus put %v should be far above Dare %v", c.PutLatency(1024), d.PutLatency(1024))
+	}
+	if c.GetLatency(1024) < 10*d.GetLatency(1024) {
+		t.Fatalf("Cocytus get %v should be far above Dare %v", c.GetLatency(1024), d.GetLatency(1024))
+	}
+}
+
+func TestLatencyMonotoneInSize(t *testing.T) {
+	for _, m := range All() {
+		last := time.Duration(0)
+		for size := 64; size <= 64<<10; size *= 4 {
+			p := m.PutLatency(size)
+			if p < last {
+				t.Fatalf("%s: put latency not monotone at %d", m.Name, size)
+			}
+			last = p
+		}
+	}
+}
+
+func TestThroughputOrdering(t *testing.T) {
+	// Figure 9: Ring's comparable memgests beat the baselines; among
+	// baselines, Cocytus's erasure path is slowest for puts.
+	co := Cocytus().PutThroughput(1024)
+	da := Dare().PutThroughput(1024)
+	if co >= da {
+		t.Fatalf("Cocytus put throughput %.0f should trail Dare %.0f", co, da)
+	}
+	// Cocytus caps out around the paper's ~220K req/s for 1KiB.
+	if co < 50e3 || co > 500e3 {
+		t.Fatalf("Cocytus put throughput %.0f/s outside plausible band", co)
+	}
+	for _, m := range All() {
+		if m.GetThroughput(1024) <= 0 || m.PutThroughput(1024) <= 0 {
+			t.Fatalf("%s throughput nonpositive", m.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("Dare"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(All()) != 4 {
+		t.Fatal("four baselines expected")
+	}
+}

@@ -1,0 +1,539 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+
+	"ring/internal/proto"
+	"ring/internal/store"
+)
+
+// parseNodeAddr extracts the node ID from a "node/<id>" address.
+func parseNodeAddr(addr string) (proto.NodeID, bool) {
+	rest, ok := strings.CutPrefix(addr, "node/")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(rest, 10, 32)
+	if err != nil {
+		return 0, false
+	}
+	return proto.NodeID(v), true
+}
+
+// blockWaiter is a request parked on an SRS block recovery.
+type blockWaiter struct {
+	client  string
+	req     proto.ReqID
+	key     string
+	version proto.Version
+	kind    replyKind // replyNone => parked get; replyMove => parked move
+	dst     proto.MemgestID
+}
+
+// resolveMemgest maps a request's memgest field (0 = default) to the
+// memgest info, or nil.
+func (n *Node) resolveMemgest(id proto.MemgestID) *proto.MemgestInfo {
+	if id == 0 {
+		id = n.cfg.Default
+	}
+	return n.cfg.Memgest(id)
+}
+
+// checkClientOp performs the routing checks shared by all client data
+// operations and returns the shard, or false after queuing an error
+// reply built by fail.
+func (n *Node) checkClientOp(key string, fail func(proto.Status)) (uint32, bool) {
+	if len(n.cfg.Coords) == 0 {
+		fail(proto.StUnavailable)
+		return 0, false
+	}
+	shard := n.shardOf(key)
+	if !n.coordinates(shard) {
+		fail(proto.StWrongNode)
+		return 0, false
+	}
+	if !n.serving {
+		fail(proto.StRetry)
+		return 0, false
+	}
+	return shard, true
+}
+
+func (n *Node) handlePut(from string, m *proto.Put) {
+	n.Stats.Puts++
+	fail := func(s proto.Status) { n.send(from, &proto.PutReply{Req: m.Req, Status: s}) }
+	shard, ok := n.checkClientOp(m.Key, fail)
+	if !ok {
+		return
+	}
+	mi := n.resolveMemgest(m.Memgest)
+	if mi == nil {
+		fail(proto.StNoMemgest)
+		return
+	}
+	n.doWrite(from, m.Req, replyPut, shard, m.Key, m.Value, mi.ID, false)
+}
+
+func (n *Node) handleDelete(from string, m *proto.Delete) {
+	n.Stats.Deletes++
+	fail := func(s proto.Status) { n.send(from, &proto.DeleteReply{Req: m.Req, Status: s}) }
+	shard, ok := n.checkClientOp(m.Key, fail)
+	if !ok {
+		return
+	}
+	// A delete is a tombstone put into the memgest currently holding
+	// the key's highest version (metadata suffices; no value). A key
+	// whose newest version is already a tombstone is absent.
+	ref, found := n.volFor(shard).Highest(m.Key)
+	if !found {
+		fail(proto.StNotFound)
+		return
+	}
+	if e := n.lookupEntry(shard, m.Key, ref); e == nil || e.Rec.Tombstone {
+		fail(proto.StNotFound)
+		return
+	}
+	n.doWrite(from, m.Req, replyDelete, shard, m.Key, nil, ref.Memgest, true)
+}
+
+// doWrite runs the write-ahead, replicate, commit pipeline shared by
+// put, delete (tombstone), and the local half of move.
+func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard uint32, key string, value []byte, mgID proto.MemgestID, tombstone bool) {
+	st := n.mgFor(mgID)
+	if st == nil {
+		n.replyStatus(replyTo, req, kind, proto.StNoMemgest, 0)
+		return
+	}
+	cs := st.coord[shard]
+	if cs == nil {
+		n.replyStatus(replyTo, req, kind, proto.StWrongNode, 0)
+		return
+	}
+	vol := n.volFor(shard)
+	var ver proto.Version = 1
+	if hi, ok := vol.Highest(key); ok {
+		ver = hi.Version + 1
+	}
+	rec := proto.MetaRecord{
+		Key: key, Version: ver, Memgest: mgID,
+		Tombstone: tombstone, Length: uint32(len(value)),
+	}
+	seq := cs.tracker.Next()
+	e := &store.Entry{Rec: rec, Seq: seq}
+	need := 0
+
+	switch st.info.Scheme.Kind {
+	case proto.SchemeSRS:
+		if !tombstone && len(value) > 0 {
+			ext, err := cs.heap.Alloc(len(value))
+			if err != nil {
+				n.replyStatus(replyTo, req, kind, proto.StUnavailable, 0)
+				return
+			}
+			if !cs.blockOK[ext.Block] {
+				// The target block has not been re-decoded yet after a
+				// failover; writing would corrupt parity deltas.
+				cs.heap.Free(ext)
+				n.replyStatus(replyTo, req, kind, proto.StRetry, 0)
+				return
+			}
+			delta := cs.heap.Write(ext, value)
+			n.Stats.BytesWritten += uint64(len(value))
+			e.Ext = ext
+			e.Rec.LocBlock = ext.Block
+			e.Rec.LocOff = ext.Off
+			stripeOff := uint32(st.layout.StripeOffset(int(ext.Block)))
+			deltas := st.layout.ParityDelta(int(ext.Block), delta)
+			// The coordinator performs the GF multiplications that
+			// build the per-parity deltas ("data nodes are responsible
+			// for calculating updates").
+			n.Stats.BytesParityXor += uint64(len(delta) * st.info.Scheme.M)
+			for r, pn := range parityNodes(&st.info) {
+				n.sendNode(pn, &proto.ParityUpdate{
+					Memgest: mgID, Shard: shard, Seq: seq, Rec: e.Rec,
+					Block: ext.Block, StripeOff: stripeOff, Off: ext.Off,
+					Delta: deltas[r],
+				})
+				n.Stats.ParityUpdates++
+			}
+		} else {
+			// Metadata-only update (tombstone or empty value): still
+			// replicated to every parity node for durability.
+			for _, pn := range parityNodes(&st.info) {
+				n.sendNode(pn, &proto.ParityUpdate{
+					Memgest: mgID, Shard: shard, Seq: seq, Rec: e.Rec,
+				})
+				n.Stats.ParityUpdates++
+			}
+		}
+		need = n.quorumAcks(st.info.Scheme)
+
+	case proto.SchemeRep:
+		e.Value = append([]byte(nil), value...)
+		msg := &proto.RepAppend{Memgest: mgID, Shard: shard, Seq: seq, Rec: e.Rec, Value: e.Value}
+		for _, rn := range replicaSet(n.cfg, &st.info, shard) {
+			n.sendNode(rn, msg)
+			n.Stats.RepAppends++
+		}
+		need = n.quorumAcks(st.info.Scheme)
+	}
+
+	// Write-ahead: the entry is inserted (uncommitted) before the
+	// commit decision.
+	cs.meta.Put(e)
+	vol.Add(key, ver, mgID)
+
+	if need == 0 {
+		// Unreliable memgests commit immediately (Rep(1,s)).
+		n.commitEntry(st, cs, key, ver, replyTo, req, kind)
+		return
+	}
+	cs.tracker.Open(seq, need)
+	cs.pending[seq] = &pendingCommit{key: key, version: ver, replyTo: replyTo, req: req, kind: kind}
+}
+
+// replyStatus sends the error reply appropriate for a write kind.
+func (n *Node) replyStatus(replyTo string, req proto.ReqID, kind replyKind, s proto.Status, ver proto.Version) {
+	switch kind {
+	case replyPut:
+		n.send(replyTo, &proto.PutReply{Req: req, Status: s, Version: ver})
+	case replyDelete:
+		n.send(replyTo, &proto.DeleteReply{Req: req, Status: s})
+	case replyMove:
+		n.send(replyTo, &proto.MoveReply{Req: req, Status: s, Version: ver})
+	}
+}
+
+// commitEntry marks (key, version) committed, replies to the client,
+// answers parked requests, propagates the commit to redundancy nodes,
+// and garbage-collects superseded versions.
+func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Version, replyTo string, req proto.ReqID, kind replyKind) {
+	e := cs.meta.Get(key, ver)
+	if e == nil {
+		return // purged concurrently (superseded before committing)
+	}
+	e.Rec.Committed = true
+	n.Stats.Commits++
+	n.replyStatus(replyTo, req, kind, proto.StOK, ver)
+
+	// Answer gets parked on this entry (Figure 5: replies are released
+	// at commit time with this exact version).
+	for _, w := range e.ParkedGets {
+		n.sendValueReply(st, cs, e, w.Client, w.Req)
+	}
+	e.ParkedGets = nil
+	moves := e.ParkedMoves
+	e.ParkedMoves = nil
+
+	// Propagate the commit so redundancy copies flip their flag.
+	n.broadcastCommit(st, cs.shard, e.Seq)
+
+	// GC versions superseded by the newest committed one.
+	n.gcKey(cs.shard, key)
+
+	// Parked moves proceed now that the source version is durable.
+	for _, mw := range moves {
+		n.performMove(mw.Client, mw.Req, cs.shard, key, mw.Dst)
+	}
+}
+
+// broadcastCommit notifies the memgest's redundancy nodes that seq
+// committed.
+func (n *Node) broadcastCommit(st *mgState, shard uint32, seq proto.Seq) {
+	msg := &proto.RepCommit{Memgest: st.info.ID, Shard: shard, Seq: seq}
+	if st.info.Scheme.Kind == proto.SchemeSRS {
+		for _, pn := range parityNodes(&st.info) {
+			n.sendNode(pn, msg)
+		}
+	} else {
+		for _, rn := range replicaSet(n.cfg, &st.info, shard) {
+			n.sendNode(rn, msg)
+		}
+	}
+}
+
+// gcKey removes committed versions of key that are superseded by the
+// newest committed version, keeping Options.KeepVersions extras.
+func (n *Node) gcKey(shard uint32, key string) {
+	vol := n.volFor(shard)
+	refs := vol.All(key)
+	// Find the newest committed version.
+	newestCommitted := -1
+	for i, ref := range refs {
+		if e := n.lookupEntry(shard, key, ref); e != nil && e.Rec.Committed {
+			newestCommitted = i
+			break
+		}
+	}
+	if newestCommitted < 0 {
+		return
+	}
+	keep := n.opts.KeepVersions
+	kept := 0
+	// With KeepDurableBackup, while the newest committed version is
+	// unreliable, the newest committed *reliable* version is pinned.
+	durablePinned := false
+	newestIsUnreliable := false
+	if n.opts.KeepDurableBackup {
+		if mi := n.cfg.Memgest(refs[newestCommitted].Memgest); mi != nil {
+			newestIsUnreliable = mi.Scheme.Kind == proto.SchemeRep && mi.Scheme.R == 1
+		}
+	}
+	for _, ref := range refs[newestCommitted+1:] {
+		e := n.lookupEntry(shard, key, ref)
+		if e == nil || !e.Rec.Committed {
+			// Uncommitted lower versions stay: they may commit later
+			// and owe parked replies (then this GC runs again).
+			continue
+		}
+		if newestIsUnreliable && !durablePinned {
+			if mi := n.cfg.Memgest(ref.Memgest); mi != nil &&
+				!(mi.Scheme.Kind == proto.SchemeRep && mi.Scheme.R == 1) {
+				durablePinned = true
+				continue // pinned reliable backup
+			}
+		}
+		if kept < keep {
+			kept++
+			continue
+		}
+		n.purgeVersion(shard, key, ref)
+	}
+	// A committed tombstone that has become the key's only version
+	// carries no information: the key is absent either way. Reclaim it
+	// once no newer (uncommitted) versions are in flight and nothing
+	// is parked on it.
+	if newestCommitted == 0 && kept == 0 {
+		if cur := vol.All(key); len(cur) == 1 {
+			if e := n.lookupEntry(shard, key, cur[0]); e != nil &&
+				e.Rec.Tombstone && e.Rec.Committed &&
+				len(e.ParkedGets) == 0 && len(e.ParkedMoves) == 0 {
+				n.purgeVersion(shard, key, cur[0])
+			}
+		}
+	}
+}
+
+// lookupEntry fetches the metadata entry behind a volatile-index ref.
+func (n *Node) lookupEntry(shard uint32, key string, ref store.VersionRef) *store.Entry {
+	st := n.mgFor(ref.Memgest)
+	if st == nil {
+		return nil
+	}
+	cs := st.coord[shard]
+	if cs == nil {
+		return nil
+	}
+	return cs.meta.Get(key, ref.Version)
+}
+
+// purgeVersion removes one version locally and tells the memgest's
+// redundancy nodes to do the same.
+func (n *Node) purgeVersion(shard uint32, key string, ref store.VersionRef) {
+	st := n.mgFor(ref.Memgest)
+	if st == nil {
+		return
+	}
+	cs := st.coord[shard]
+	if cs == nil {
+		return
+	}
+	e := cs.meta.Delete(key, ref.Version)
+	if e == nil {
+		return
+	}
+	if e.Ext.Len > 0 && cs.heap != nil {
+		cs.heap.Free(e.Ext)
+	}
+	n.volFor(shard).Remove(key, ref.Version)
+	msg := &proto.Purge{Memgest: ref.Memgest, Shard: shard, Key: key, Version: ref.Version}
+	if st.info.Scheme.Kind == proto.SchemeSRS {
+		for _, pn := range parityNodes(&st.info) {
+			n.sendNode(pn, msg)
+		}
+	} else if st.info.Scheme.R > 1 {
+		for _, rn := range replicaSet(n.cfg, &st.info, shard) {
+			n.sendNode(rn, msg)
+		}
+	}
+}
+
+func (n *Node) handleGet(from string, m *proto.Get) {
+	n.Stats.Gets++
+	fail := func(s proto.Status) { n.send(from, &proto.GetReply{Req: m.Req, Status: s}) }
+	shard, ok := n.checkClientOp(m.Key, fail)
+	if !ok {
+		return
+	}
+	var ref store.VersionRef
+	var found bool
+	if m.Version == 0 {
+		ref, found = n.volFor(shard).Highest(m.Key)
+	} else {
+		// Exact-version read: serve the requested version if it is
+		// still retained (Options.KeepVersions governs retention).
+		for _, r := range n.volFor(shard).All(m.Key) {
+			if r.Version == m.Version {
+				ref, found = r, true
+				break
+			}
+		}
+	}
+	if !found {
+		fail(proto.StNotFound)
+		return
+	}
+	st := n.mgFor(ref.Memgest)
+	e := n.lookupEntry(shard, m.Key, ref)
+	if st == nil || e == nil {
+		fail(proto.StNotFound)
+		return
+	}
+	cs := st.coord[shard]
+	if !e.Rec.Committed {
+		// Park: the reply is released when this exact version commits
+		// (Figure 5, client D).
+		e.ParkedGets = append(e.ParkedGets, store.Waiter{Client: from, Req: m.Req})
+		n.Stats.ParkedGets++
+		return
+	}
+	n.sendValueReply(st, cs, e, from, m.Req)
+}
+
+// sendValueReply emits a GetReply for a committed entry, recovering
+// the backing SRS block on demand if it was lost in a failover.
+func (n *Node) sendValueReply(st *mgState, cs *coordShard, e *store.Entry, client string, req proto.ReqID) {
+	if e.Rec.Tombstone {
+		n.send(client, &proto.GetReply{Req: req, Status: proto.StNotFound})
+		return
+	}
+	var value []byte
+	switch st.info.Scheme.Kind {
+	case proto.SchemeRep:
+		if e.Value == nil && e.Rec.Length > 0 {
+			// Value lost in failover and not yet re-fetched: park on
+			// data recovery.
+			n.parkOnValueRecovery(st, cs, e, blockWaiter{client: client, req: req, key: e.Rec.Key, version: e.Rec.Version})
+			return
+		}
+		value = e.Value
+	case proto.SchemeSRS:
+		if e.Rec.Length > 0 {
+			if !cs.blockOK[e.Ext.Block] {
+				n.parkOnBlockRecovery(st, cs, e.Ext.Block, blockWaiter{client: client, req: req, key: e.Rec.Key, version: e.Rec.Version})
+				return
+			}
+			value = cs.heap.Read(e.Ext)
+		}
+	}
+	n.send(client, &proto.GetReply{Req: req, Status: proto.StOK, Version: e.Rec.Version, Value: value})
+}
+
+func (n *Node) handleMove(from string, m *proto.Move) {
+	n.Stats.Moves++
+	fail := func(s proto.Status) { n.send(from, &proto.MoveReply{Req: m.Req, Status: s}) }
+	shard, ok := n.checkClientOp(m.Key, fail)
+	if !ok {
+		return
+	}
+	if n.cfg.Memgest(m.Memgest) == nil {
+		fail(proto.StNoMemgest)
+		return
+	}
+	ref, found := n.volFor(shard).Highest(m.Key)
+	if !found {
+		fail(proto.StNotFound)
+		return
+	}
+	e := n.lookupEntry(shard, m.Key, ref)
+	if e == nil {
+		fail(proto.StNotFound)
+		return
+	}
+	if !e.Rec.Committed {
+		// The paper: "the move request will also be postponed if the
+		// requested object is not durable."
+		e.ParkedMoves = append(e.ParkedMoves, store.MoveWaiter{Client: from, Req: m.Req, Dst: m.Memgest})
+		return
+	}
+	n.performMove(from, m.Req, shard, m.Key, m.Memgest)
+}
+
+// performMove reads the durable highest version locally and re-puts it
+// into the destination memgest with the next version number. No value
+// crosses the network from the client; thanks to SRS co-location the
+// read is purely local.
+func (n *Node) performMove(client string, req proto.ReqID, shard uint32, key string, dst proto.MemgestID) {
+	ref, found := n.volFor(shard).Highest(key)
+	if !found {
+		n.send(client, &proto.MoveReply{Req: req, Status: proto.StNotFound})
+		return
+	}
+	st := n.mgFor(ref.Memgest)
+	e := n.lookupEntry(shard, key, ref)
+	if st == nil || e == nil || e.Rec.Tombstone {
+		n.send(client, &proto.MoveReply{Req: req, Status: proto.StNotFound})
+		return
+	}
+	if ref.Memgest == dst {
+		// Already there: succeed without a new version.
+		n.send(client, &proto.MoveReply{Req: req, Status: proto.StOK, Version: ref.Version})
+		return
+	}
+	cs := st.coord[shard]
+	var value []byte
+	switch st.info.Scheme.Kind {
+	case proto.SchemeRep:
+		if e.Value == nil && e.Rec.Length > 0 {
+			n.parkOnValueRecovery(st, cs, e, blockWaiter{client: client, req: req, key: key, version: ref.Version, kind: replyMove, dst: dst})
+			return
+		}
+		value = e.Value
+	case proto.SchemeSRS:
+		if e.Rec.Length > 0 {
+			if !cs.blockOK[e.Ext.Block] {
+				n.parkOnBlockRecovery(st, cs, e.Ext.Block, blockWaiter{client: client, req: req, key: key, version: ref.Version, kind: replyMove, dst: dst})
+				return
+			}
+			value = cs.heap.Read(e.Ext)
+		}
+	}
+	n.doWrite(client, req, replyMove, shard, key, value, dst, false)
+}
+
+func (n *Node) handleRepAck(from string, m *proto.RepAck) {
+	id, ok := parseNodeAddr(from)
+	if !ok {
+		return
+	}
+	n.handleAck(m.Memgest, m.Shard, m.Seq, id)
+}
+
+func (n *Node) handleParityAck(from string, m *proto.ParityAck) {
+	id, ok := parseNodeAddr(from)
+	if !ok {
+		return
+	}
+	n.handleAck(m.Memgest, m.Shard, m.Seq, id)
+}
+
+func (n *Node) handleAck(mgID proto.MemgestID, shard uint32, seq proto.Seq, from proto.NodeID) {
+	st := n.mgFor(mgID)
+	if st == nil {
+		return
+	}
+	cs := st.coord[shard]
+	if cs == nil {
+		return
+	}
+	if !cs.tracker.Ack(seq, from) {
+		return
+	}
+	pc := cs.pending[seq]
+	if pc == nil {
+		return
+	}
+	delete(cs.pending, seq)
+	n.commitEntry(st, cs, pc.key, pc.version, pc.replyTo, pc.req, pc.kind)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"ring/internal/proto"
+	"ring/internal/store"
+)
+
+// rmetaFor returns (creating on demand) the redundancy-side metadata
+// table for one shard of a memgest. Creation on demand tolerates
+// config installation races between coordinator and redundancy nodes.
+func (st *mgState) rmetaFor(shard uint32) *store.MetaTable {
+	t, ok := st.rmeta[shard]
+	if !ok {
+		t = store.NewMetaTable()
+		st.rmeta[shard] = t
+	}
+	return t
+}
+
+// rseqFor returns the seq -> entry-key index of a shard, used to flip
+// committed flags when RepCommit arrives (which carries only the seq).
+func (st *mgState) rseqFor(shard uint32) map[proto.Seq]store.EntryKey {
+	if st.rseq == nil {
+		st.rseq = make(map[uint32]map[proto.Seq]store.EntryKey)
+	}
+	m, ok := st.rseq[shard]
+	if !ok {
+		m = make(map[proto.Seq]store.EntryKey)
+		st.rseq[shard] = m
+	}
+	return m
+}
+
+// handleRepAppend applies a replicated-log entry on a replica of a
+// Rep memgest: store the (still uncommitted) metadata record and the
+// value, then acknowledge.
+func (n *Node) handleRepAppend(from string, m *proto.RepAppend) {
+	st := n.mgFor(m.Memgest)
+	if st == nil {
+		return
+	}
+	rt := st.rmetaFor(m.Shard)
+	rt.Put(&store.Entry{Rec: m.Rec, Value: m.Value, Seq: m.Seq})
+	st.rseqFor(m.Shard)[m.Seq] = store.EntryKey{Key: m.Rec.Key, Version: m.Rec.Version}
+	n.send(from, &proto.RepAck{Memgest: m.Memgest, Shard: m.Shard, Seq: m.Seq})
+}
+
+// handleParityUpdate applies a coefficient-multiplied delta to this
+// parity node's region and installs the metadata record in its replica
+// of the shard's metadata hashtable.
+func (n *Node) handleParityUpdate(from string, m *proto.ParityUpdate) {
+	st := n.mgFor(m.Memgest)
+	if st == nil || st.parity == nil {
+		return
+	}
+	if len(m.Delta) > 0 {
+		st.parity.ApplyDelta(int(m.StripeOff), int(m.Off), m.Delta)
+		n.Stats.BytesParityXor += uint64(len(m.Delta))
+	}
+	rt := st.rmetaFor(m.Shard)
+	rt.Put(&store.Entry{Rec: m.Rec, Seq: m.Seq})
+	st.rseqFor(m.Shard)[m.Seq] = store.EntryKey{Key: m.Rec.Key, Version: m.Rec.Version}
+	n.send(from, &proto.ParityAck{Memgest: m.Memgest, Shard: m.Shard, Seq: m.Seq})
+}
+
+// handleRepCommit flips the committed flag on the redundancy copy of a
+// log entry.
+func (n *Node) handleRepCommit(_ string, m *proto.RepCommit) {
+	st := n.mgFor(m.Memgest)
+	if st == nil {
+		return
+	}
+	seqIdx := st.rseqFor(m.Shard)
+	ek, ok := seqIdx[m.Seq]
+	if !ok {
+		return
+	}
+	delete(seqIdx, m.Seq)
+	if e := st.rmetaFor(m.Shard).Get(ek.Key, ek.Version); e != nil {
+		e.Rec.Committed = true
+	}
+}
+
+// handlePurge removes a superseded version from the redundancy copy.
+// Parity bytes are left in place: the freed extent keeps its contents
+// until reused, and reuse deltas are computed against those contents,
+// so the stripe invariant holds throughout.
+func (n *Node) handlePurge(_ string, m *proto.Purge) {
+	st := n.mgFor(m.Memgest)
+	if st == nil {
+		return
+	}
+	if e := st.rmetaFor(m.Shard).Get(m.Key, m.Version); e != nil {
+		delete(st.rseqFor(m.Shard), e.Seq)
+	}
+	st.rmetaFor(m.Shard).Delete(m.Key, m.Version)
+}
+
+// handleMetaFetch serves a node recovering the metadata hashtable of
+// one memgest shard. Coordinators answer from their authoritative
+// table; redundancy nodes answer from their replica.
+func (n *Node) handleMetaFetch(from string, m *proto.MetaFetch) {
+	st := n.mgFor(m.Memgest)
+	if st == nil {
+		n.send(from, &proto.MetaFetchReply{Req: m.Req, Status: proto.StNoMemgest, Memgest: m.Memgest, Shard: m.Shard})
+		return
+	}
+	var recs []proto.MetaRecord
+	if cs := st.coord[m.Shard]; cs != nil {
+		recs = cs.meta.Records()
+	} else if rt, ok := st.rmeta[m.Shard]; ok {
+		recs = rt.Records()
+	} else {
+		n.send(from, &proto.MetaFetchReply{Req: m.Req, Status: proto.StNotFound, Memgest: m.Memgest, Shard: m.Shard})
+		return
+	}
+	n.send(from, &proto.MetaFetchReply{
+		Req: m.Req, Status: proto.StOK, Memgest: m.Memgest, Shard: m.Shard, Recs: recs,
+	})
+}
+
+// handleDataFetch serves the value of (key, version) from a replica's
+// copy (Rep recovery: "it will request a copy of the requested data
+// from any available replica").
+func (n *Node) handleDataFetch(from string, m *proto.DataFetch) {
+	st := n.mgFor(m.Memgest)
+	if st == nil {
+		n.send(from, &proto.DataFetchReply{Req: m.Req, Status: proto.StNoMemgest})
+		return
+	}
+	var e *store.Entry
+	if cs := st.coord[m.Shard]; cs != nil {
+		e = cs.meta.Get(m.Key, m.Version)
+	}
+	if e == nil {
+		if rt, ok := st.rmeta[m.Shard]; ok {
+			e = rt.Get(m.Key, m.Version)
+		}
+	}
+	if e == nil || (e.Value == nil && e.Rec.Length > 0) {
+		n.send(from, &proto.DataFetchReply{Req: m.Req, Status: proto.StNotFound})
+		return
+	}
+	n.send(from, &proto.DataFetchReply{Req: m.Req, Status: proto.StOK, Value: e.Value})
+}
+
+// handleBlockFetch serves the raw contents of one SRS logical block
+// from the coordinator owning it (used by parity decode).
+func (n *Node) handleBlockFetch(from string, m *proto.BlockFetch) {
+	st := n.mgFor(m.Memgest)
+	if st == nil || st.layout == nil {
+		n.send(from, &proto.BlockFetchReply{Req: m.Req, Status: proto.StNoMemgest, Block: m.Block})
+		return
+	}
+	shard := uint32(st.layout.DataNodeOf(int(m.Block)))
+	cs := st.coord[shard]
+	if cs == nil || !cs.blockOK[m.Block] {
+		n.send(from, &proto.BlockFetchReply{Req: m.Req, Status: proto.StNotFound, Block: m.Block})
+		return
+	}
+	n.send(from, &proto.BlockFetchReply{
+		Req: m.Req, Status: proto.StOK, Block: m.Block,
+		Data: append([]byte(nil), cs.heap.BlockData(m.Block)...),
+	})
+}

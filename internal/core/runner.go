@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ring/internal/proto"
+	"ring/internal/transport"
+)
+
+// Runner hosts one Node on a fabric: a single goroutine serializes
+// incoming packets and timer ticks through the state machine, exactly
+// like the paper's single-threaded servers.
+type Runner struct {
+	node  *Node
+	ep    transport.Endpoint
+	ticks time.Duration
+
+	mu      sync.Mutex // guards node during Inspect
+	start   time.Time
+	stopped chan struct{}
+	done    chan struct{}
+}
+
+// StartRunner registers the node's endpoint on the fabric and starts
+// its event loop. tickEvery <= 0 selects 10ms.
+func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Runner, error) {
+	if tickEvery <= 0 {
+		tickEvery = 10 * time.Millisecond
+	}
+	ep, err := fabric.Register(NodeAddr(n.ID()))
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		node:    n,
+		ep:      ep,
+		ticks:   tickEvery,
+		start:   time.Now(),
+		stopped: make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	packets := make(chan transport.Packet, 1024)
+	go func() {
+		for {
+			p, err := ep.Recv()
+			if err != nil {
+				close(packets)
+				return
+			}
+			select {
+			case packets <- p:
+			case <-r.stopped:
+				return
+			}
+		}
+	}()
+	go r.loop(packets)
+	return r, nil
+}
+
+func (r *Runner) loop(packets chan transport.Packet) {
+	defer close(r.done)
+	ticker := time.NewTicker(r.ticks)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stopped:
+			return
+		case p, ok := <-packets:
+			if !ok {
+				return
+			}
+			msg, err := proto.Decode(p.Payload)
+			if err != nil {
+				continue // drop malformed packets
+			}
+			r.dispatch(func(now time.Duration) []Out {
+				return r.node.HandleMessage(now, p.From, msg)
+			})
+		case <-ticker.C:
+			r.dispatch(r.node.HandleTick)
+		}
+	}
+}
+
+func (r *Runner) dispatch(f func(time.Duration) []Out) {
+	r.mu.Lock()
+	outs := f(time.Since(r.start))
+	// Copy: the node reuses its output buffer across calls.
+	toSend := make([]Out, len(outs))
+	copy(toSend, outs)
+	r.mu.Unlock()
+	for _, o := range toSend {
+		// Best-effort, like a datagram fabric: dead peers are the
+		// failure detector's problem, not the sender's.
+		_ = r.ep.Send(o.To, proto.Encode(o.Msg))
+	}
+}
+
+// Inspect runs f with the node quiesced; for tests and stats scraping.
+func (r *Runner) Inspect(f func(*Node)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(r.node)
+}
+
+// Stop terminates the runner and unregisters the endpoint. A stopped
+// runner's node simply vanishes from the fabric — the exact failure
+// model of the paper's "manually killing processes" experiments.
+func (r *Runner) Stop() {
+	select {
+	case <-r.stopped:
+		return
+	default:
+	}
+	close(r.stopped)
+	r.ep.Close()
+	<-r.done
+}
+
+// Cluster is a convenience harness: n nodes on one fabric with a
+// shared initial configuration.
+type Cluster struct {
+	Fabric *transport.MemFabric
+	Cfg    *proto.Config
+	Runs   map[proto.NodeID]*Runner
+	opts   Options
+	tick   time.Duration
+}
+
+// ClusterSpec describes a cluster to boot.
+type ClusterSpec struct {
+	// Shards (s), Redundant (d) and Spares (n) node counts; node IDs
+	// are assigned 0..s+d+n-1 in role order.
+	Shards, Redundant, Spares int
+	// Memgests created at boot (IDs assigned 1..len in order; the
+	// first becomes the default).
+	Memgests []proto.Scheme
+	Opts     Options
+	// TickEvery is the runner tick period.
+	TickEvery time.Duration
+}
+
+// BootConfig builds the initial configuration for a spec.
+func BootConfig(spec ClusterSpec) (*proto.Config, error) {
+	if spec.Shards < 1 {
+		return nil, fmt.Errorf("core: cluster needs at least one shard")
+	}
+	cfg := &proto.Config{Epoch: 1, Leader: 0}
+	id := proto.NodeID(0)
+	for i := 0; i < spec.Shards; i++ {
+		cfg.Coords = append(cfg.Coords, id)
+		id++
+	}
+	for i := 0; i < spec.Redundant; i++ {
+		cfg.Redundant = append(cfg.Redundant, id)
+		id++
+	}
+	for i := 0; i < spec.Spares; i++ {
+		cfg.Spares = append(cfg.Spares, id)
+		id++
+	}
+	for i, sc := range spec.Memgests {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		if sc.S != spec.Shards {
+			return nil, fmt.Errorf("core: memgest %v does not match cluster shards %d", sc, spec.Shards)
+		}
+		cfg.Memgests = append(cfg.Memgests, proto.MemgestInfo{
+			ID:        proto.MemgestID(i + 1),
+			Scheme:    sc,
+			Redundant: append([]proto.NodeID(nil), cfg.Redundant...),
+		})
+	}
+	if len(cfg.Memgests) > 0 {
+		cfg.Default = cfg.Memgests[0].ID
+	}
+	return cfg, nil
+}
+
+// StartCluster boots a full in-process cluster on a fresh memnet
+// fabric.
+func StartCluster(spec ClusterSpec) (*Cluster, error) {
+	cfg, err := BootConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		Fabric: transport.NewMemFabric(0),
+		Cfg:    cfg,
+		Runs:   make(map[proto.NodeID]*Runner),
+		opts:   spec.Opts,
+		tick:   spec.TickEvery,
+	}
+	for _, id := range cfg.AllNodes() {
+		n := New(id, cfg.Clone(), spec.Opts)
+		r, err := StartRunner(n, c.Fabric, spec.TickEvery)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.Runs[id] = r
+	}
+	return c, nil
+}
+
+// Kill simulates a crash: the node's runner stops and its endpoint
+// disappears from the fabric.
+func (c *Cluster) Kill(id proto.NodeID) {
+	if r, ok := c.Runs[id]; ok {
+		r.Stop()
+		delete(c.Runs, id)
+	}
+}
+
+// Stop shuts the whole cluster down.
+func (c *Cluster) Stop() {
+	for id, r := range c.Runs {
+		r.Stop()
+		delete(c.Runs, id)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"ring/internal/proto"
+)
+
+// getVersion drives an exact-version read through the harness.
+func (h *harness) getVersion(key string, ver proto.Version) *proto.GetReply {
+	_, id := h.coordinatorOf(key)
+	h.send("client/t", id, &proto.Get{Req: 5, Key: key, Version: ver})
+	h.run()
+	r, ok := h.lastReply("client/t").(*proto.GetReply)
+	if !ok {
+		h.t.Fatalf("getVersion %q: wrong reply type", key)
+	}
+	return r
+}
+
+func TestKeepVersionsRetainsOldCopies(t *testing.T) {
+	spec := figure3Spec()
+	spec.Opts.KeepVersions = 1
+	h := newHarness(t, spec)
+
+	// v1 reliable, v2 unreliable: the reliable copy must survive.
+	h.put("vk", []byte("durable"), mgSRS32)
+	h.put("vk", []byte("fast"), mgREP1)
+
+	if g := h.get("vk"); string(g.Value) != "fast" || g.Version != 2 {
+		t.Fatalf("newest: %q v%d", g.Value, g.Version)
+	}
+	if g := h.getVersion("vk", 1); g.Status != proto.StOK || string(g.Value) != "durable" {
+		t.Fatalf("retained v1: %v %q", g.Status, g.Value)
+	}
+	// A third put evicts v1 (KeepVersions=1 keeps only v2).
+	h.put("vk", []byte("newest"), mgREP1)
+	if g := h.getVersion("vk", 1); g.Status != proto.StNotFound {
+		t.Fatalf("v1 should be GCed, got %v", g.Status)
+	}
+	if g := h.getVersion("vk", 2); g.Status != proto.StOK || string(g.Value) != "fast" {
+		t.Fatalf("v2 should be retained: %v", g.Status)
+	}
+}
+
+func TestGetVersionDefaultGC(t *testing.T) {
+	// With KeepVersions=0 old versions vanish at commit.
+	h := newHarness(t, figure3Spec())
+	h.put("gk", []byte("one"), mgREP3)
+	h.put("gk", []byte("two"), mgREP3)
+	if g := h.getVersion("gk", 1); g.Status != proto.StNotFound {
+		t.Fatalf("v1 should be gone: %v", g.Status)
+	}
+	if g := h.getVersion("gk", 2); g.Status != proto.StOK {
+		t.Fatalf("v2 missing: %v", g.Status)
+	}
+	if g := h.getVersion("gk", 99); g.Status != proto.StNotFound {
+		t.Fatalf("future version: %v", g.Status)
+	}
+}
+
+func TestKeepDurableBackupPinsReliableCopy(t *testing.T) {
+	spec := figure3Spec()
+	spec.Opts.KeepDurableBackup = true
+	h := newHarness(t, spec)
+
+	// Durable v1, then a storm of unreliable puts. The durable copy
+	// must survive arbitrarily many unreliable versions.
+	h.put("bk", []byte("durable"), mgSRS32)
+	for i := 0; i < 20; i++ {
+		h.put("bk", []byte(fmt.Sprintf("bid-%d", i)), mgREP1)
+	}
+	if g := h.getVersion("bk", 1); g.Status != proto.StOK || string(g.Value) != "durable" {
+		t.Fatalf("durable backup lost: %v %q", g.Status, g.Value)
+	}
+	// Intermediate unreliable versions are still GCed.
+	if g := h.getVersion("bk", 2); g.Status != proto.StNotFound {
+		t.Fatalf("unreliable v2 should be GCed: %v", g.Status)
+	}
+	// Once a newer durable version commits, the pin moves to it and the
+	// old one is collected.
+	h.put("bk", []byte("durable2"), mgSRS32)
+	h.put("bk", []byte("after"), mgREP1)
+	if g := h.getVersion("bk", 1); g.Status != proto.StNotFound {
+		t.Fatalf("old durable should be GCed after a new durable commit: %v", g.Status)
+	}
+	if g := h.getVersion("bk", 22); g.Status != proto.StOK || string(g.Value) != "durable2" {
+		t.Fatalf("new durable pin missing: %v %q", g.Status, g.Value)
+	}
+	h.checkParityInvariant()
+}
+
+func TestKeepVersionsSurvivesCoordinatorFailure(t *testing.T) {
+	// The heavy-updates story: reliable v1 retained while v2 lives in
+	// the unreliable memgest; killing the coordinator loses v2 but the
+	// recovered node still serves v1.
+	spec := figure3Spec()
+	spec.Opts.KeepVersions = 1
+	h := newHarness(t, spec)
+
+	h.put("hk", []byte("reliable"), mgSRS32)
+	h.put("hk", []byte("volatile"), mgREP1)
+	_, dead := h.coordinatorOf("hk")
+	if dead == 0 {
+		// Keep the leader alive for a simpler test; re-key if needed.
+		for i := 0; ; i++ {
+			key := fmt.Sprintf("hk-%d", i)
+			if _, id := h.coordinatorOf(key); id != 0 {
+				h.put(key, []byte("reliable"), mgSRS32)
+				h.put(key, []byte("volatile"), mgREP1)
+				dead = id
+				h.kill(dead)
+				for tick := 0; tick < 100; tick++ {
+					h.tick(10 * time.Millisecond)
+				}
+				g := h.get(key)
+				if g.Status != proto.StOK || !bytes.Equal(g.Value, []byte("reliable")) {
+					t.Fatalf("after failover: %v %q (want the preserved reliable copy)", g.Status, g.Value)
+				}
+				return
+			}
+		}
+	}
+	h.kill(dead)
+	for tick := 0; tick < 100; tick++ {
+		h.tick(10 * time.Millisecond)
+	}
+	// The unreliable v2 died with the node; the newest surviving
+	// version is the reliable v1.
+	g := h.get("hk")
+	if g.Status != proto.StOK || !bytes.Equal(g.Value, []byte("reliable")) || g.Version != 1 {
+		t.Fatalf("after failover: %v %q v%d (want reliable v1)", g.Status, g.Value, g.Version)
+	}
+}
+
+// TestParkedMove: a move requested while the key's highest version is
+// still uncommitted must wait for durability, then run (Section 5.2:
+// "the move request will also be postponed if the requested object is
+// not durable").
+func TestParkedMove(t *testing.T) {
+	h := newHarness(t, figure3Spec())
+	h.put("pmk", []byte("v1"), mgREP3)
+
+	n, id := h.coordinatorOf("pmk")
+	// Inject a put but hold back its replication traffic.
+	outs := n.HandleMessage(h.now, "client/p", &proto.Put{Req: 40, Key: "pmk", Value: []byte("v2"), Memgest: mgREP3})
+	var held []routedMsg
+	for _, o := range outs {
+		held = append(held, routedMsg{from: NodeAddr(id), to: o.To, msg: o.Msg})
+	}
+	// Move arrives while v2 is uncommitted: must produce no reply yet.
+	outs = n.HandleMessage(h.now, "client/m", &proto.Move{Req: 41, Key: "pmk", Memgest: mgSRS32})
+	if len(outs) != 0 {
+		t.Fatalf("move of uncommitted version answered immediately: %v", outs)
+	}
+	// Release replication; the commit must trigger the parked move,
+	// which itself commits into SRS32.
+	h.queue = append(h.queue, held...)
+	h.run()
+	mr := h.lastReply("client/m").(*proto.MoveReply)
+	if mr.Status != proto.StOK || mr.Version != 3 {
+		t.Fatalf("parked move reply: %+v", mr)
+	}
+	g := h.get("pmk")
+	if g.Status != proto.StOK || string(g.Value) != "v2" || g.Version != 3 {
+		t.Fatalf("after parked move: %v %q v%d", g.Status, g.Value, g.Version)
+	}
+	// The value now lives in SRS32.
+	shard := n.shardOf("pmk")
+	ref, _ := n.volFor(shard).Highest("pmk")
+	if ref.Memgest != mgSRS32 {
+		t.Fatalf("key landed in memgest %d", ref.Memgest)
+	}
+	h.checkParityInvariant()
+}
+
+// TestMoveOfTombstoneIsNotFound: moving a deleted key fails cleanly.
+func TestMoveOfTombstoneIsNotFound(t *testing.T) {
+	h := newHarness(t, figure3Spec())
+	h.put("tk", []byte("x"), mgREP1)
+	h.del("tk")
+	if r := h.move("tk", mgSRS32); r.Status != proto.StNotFound {
+		t.Fatalf("move of tombstone: %v", r.Status)
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ring/internal/balance"
+	"ring/internal/core"
+	"ring/internal/proto"
+	"ring/internal/sim"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out:
+// delta parity updates vs full re-encode, SRS's local move vs the
+// migration a stable-mapping-less RS system would need, quorum vs
+// fully synchronous replication, and single vs rotated memgest groups.
+
+// AblationMoveResult compares the network cost of changing a key's
+// storage scheme.
+type AblationMoveResult struct {
+	ObjectBytes int
+	// MoveWireBytes is what Ring's move puts on the wire: the move
+	// request, parity deltas/replica appends of the destination, and
+	// acks — the value never crosses a client link.
+	MoveWireBytes uint64
+	MoveLatency   time.Duration
+	// MigrateWireBytes is what a client-driven re-store costs (the
+	// strategy a KVS without a stable key-to-node mapping needs):
+	// get + full value to the client + put with the full value +
+	// destination redundancy traffic.
+	MigrateWireBytes uint64
+	MigrateLatency   time.Duration
+}
+
+// AblationMoveVsMigrate measures both strategies in the simulator for
+// one object size, moving a key from REP1 into SRS32.
+func AblationMoveVsMigrate(objectBytes int) (AblationMoveResult, error) {
+	res := AblationMoveResult{ObjectBytes: objectBytes}
+	val := make([]byte, objectBytes)
+
+	// Strategy 1: Ring move.
+	{
+		s, c, err := newPaperSim(0)
+		if err != nil {
+			return res, err
+		}
+		if _, pr, err := c.PutSync("ab-key", val, MemgestID("REP1")); err != nil || pr.Status != proto.StOK {
+			return res, fmt.Errorf("ablation setup: %v", err)
+		}
+		before := s.BytesOnWire
+		lat, mr, err := c.MoveSync("ab-key", MemgestID("SRS32"))
+		if err != nil || mr.Status != proto.StOK {
+			return res, fmt.Errorf("ablation move: %v", err)
+		}
+		res.MoveWireBytes = s.BytesOnWire - before
+		res.MoveLatency = lat
+	}
+
+	// Strategy 2: client-driven migration (get, then re-put).
+	{
+		s, c, err := newPaperSim(0)
+		if err != nil {
+			return res, err
+		}
+		if _, pr, err := c.PutSync("ab-key", val, MemgestID("REP1")); err != nil || pr.Status != proto.StOK {
+			return res, fmt.Errorf("ablation setup: %v", err)
+		}
+		before := s.BytesOnWire
+		glat, gr, err := c.GetSync("ab-key")
+		if err != nil || gr.Status != proto.StOK {
+			return res, fmt.Errorf("ablation get: %v", err)
+		}
+		plat, pr, err := c.PutSync("ab-key", gr.Value, MemgestID("SRS32"))
+		if err != nil || pr.Status != proto.StOK {
+			return res, fmt.Errorf("ablation re-put: %v", err)
+		}
+		res.MigrateWireBytes = s.BytesOnWire - before
+		res.MigrateLatency = glat + plat
+	}
+	return res, nil
+}
+
+// AblationQuorumResult compares quorum and fully synchronous
+// replication commits for Rep(r,3).
+type AblationQuorumResult struct {
+	R               int
+	QuorumPut       time.Duration
+	SyncPut         time.Duration
+	QuorumTolerates int // availability under failures
+	SyncTolerates   int
+}
+
+// AblationQuorumVsSync measures Rep(4,3) put latency under both commit
+// rules (Section 3.1's trade-off).
+func AblationQuorumVsSync(r int, valueSize int) (AblationQuorumResult, error) {
+	res := AblationQuorumResult{
+		R:               r,
+		QuorumTolerates: (r - 1) / 2,
+		SyncTolerates:   r - 1,
+	}
+	val := make([]byte, valueSize)
+	measure := func(sync bool) (time.Duration, error) {
+		spec := PaperSpec(0)
+		spec.Opts.SyncReplication = sync
+		s, err := sim.NewFromSpec(spec, sim.DefaultModel())
+		if err != nil {
+			return 0, err
+		}
+		cfg, _ := core.BootConfig(spec)
+		c := sim.NewClient(s, "q", cfg)
+		mg := proto.MemgestID(r) // boot order: REP1..REP4 are ids 1..4
+		var lats []time.Duration
+		for i := 0; i < 15; i++ {
+			lat, pr, err := c.PutSync(fmt.Sprintf("q-%d", i), val, mg)
+			if err != nil || pr.Status != proto.StOK {
+				return 0, fmt.Errorf("quorum ablation put: %v", err)
+			}
+			lats = append(lats, lat)
+		}
+		return percentile(lats, 0.5), nil
+	}
+	var err error
+	if res.QuorumPut, err = measure(false); err != nil {
+		return res, err
+	}
+	if res.SyncPut, err = measure(true); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// AblationBalanceResult reports the memory imbalance (max/mean) of the
+// Figure 3 memgest set under a single memgest group versus the rotated
+// layout of Section 5.4.
+type AblationBalanceResult struct {
+	SingleGroup float64
+	Rotated     float64
+}
+
+// AblationBalance evaluates the balancing analysis for the paper's
+// deployment.
+func AblationBalance() AblationBalanceResult {
+	schemes := []proto.Scheme{
+		proto.Rep(2, 3), proto.Rep(3, 3), proto.Rep(4, 3),
+		proto.SRS(2, 1, 3), proto.SRS(3, 1, 3), proto.SRS(3, 2, 3),
+	}
+	const data, meta = 1 << 30, 1 << 20
+	return AblationBalanceResult{
+		SingleGroup: balance.Imbalance(balance.Analyze(schemes, 3, 2, data, meta, false)),
+		Rotated:     balance.Imbalance(balance.Analyze(schemes, 3, 2, data, meta, true)),
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationMoveVsMigrate(t *testing.T) {
+	res, err := AblationMoveVsMigrate(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The move never ships the object over a client link, so it puts
+	// fewer bytes on the wire than get+put (which carries the value
+	// twice across the client link).
+	if res.MoveWireBytes >= res.MigrateWireBytes {
+		t.Fatalf("move %d bytes on wire should beat migrate %d", res.MoveWireBytes, res.MigrateWireBytes)
+	}
+	// The migrate path carries the object at least twice.
+	if res.MigrateWireBytes < 2*uint64(res.ObjectBytes) {
+		t.Fatalf("migrate wire bytes %d implausibly low", res.MigrateWireBytes)
+	}
+	if res.MoveLatency >= res.MigrateLatency {
+		t.Fatalf("move latency %v should beat migrate %v", res.MoveLatency, res.MigrateLatency)
+	}
+}
+
+func TestAblationQuorumVsSync(t *testing.T) {
+	res, err := AblationQuorumVsSync(4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quorum commits after 2 of 3 remote acks; sync waits for all 3,
+	// so it is slower but tolerates more unavailability.
+	if res.SyncPut <= res.QuorumPut {
+		t.Fatalf("sync put %v should exceed quorum put %v", res.SyncPut, res.QuorumPut)
+	}
+	if res.QuorumTolerates != 1 || res.SyncTolerates != 3 {
+		t.Fatalf("tolerance accounting wrong: %+v", res)
+	}
+}
+
+func TestAblationBalance(t *testing.T) {
+	res := AblationBalance()
+	if res.SingleGroup <= 1.05 {
+		t.Fatalf("single group imbalance %v should be visible", res.SingleGroup)
+	}
+	if res.Rotated > 1.01 {
+		t.Fatalf("rotated imbalance %v should be ~1", res.Rotated)
+	}
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ring/internal/reliability"
+	"ring/internal/srs"
+	"ring/internal/traces"
+)
+
+// Fig2Point is one marker of Figure 2: the annual reliability of
+// SRS(k,m,s), in nines.
+type Fig2Point struct {
+	K, M, S int
+	Nines   float64
+}
+
+// Fig2Reliability reproduces Figure 2: for every RS(k,m) anchor with
+// 2 <= k <= 7 and 1 <= m <= min(k-1, 5), the reliability of the
+// stretched variants s = k..8, from the Appendix A Markov models.
+func Fig2Reliability(params reliability.Params) []Fig2Point {
+	if params == (reliability.Params{}) {
+		params = reliability.DefaultParams()
+	}
+	var out []Fig2Point
+	for k := 2; k <= 7; k++ {
+		maxM := k - 1
+		if maxM > 5 {
+			maxM = 5
+		}
+		for m := 1; m <= maxM; m++ {
+			for s := k; s <= 8; s++ {
+				layout := srs.MustLayout(k, m, s)
+				chain := reliability.SRSChain(layout, params)
+				out = append(out, Fig2Point{
+					K: k, M: m, S: s,
+					Nines: reliability.Nines(chain.Reliability(1)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig16Point is one marker of Figure 16: interval availability of
+// SRS(k,m,s) over one year, in nines.
+type Fig16Point struct {
+	K, M, S int
+	Nines   float64
+}
+
+// Fig16Availability reproduces Figure 16 for the families the figure
+// shows (k up to 5), using the repairable-fail-state availability
+// model (see reliability.Chain.Repairable for the rationale).
+func Fig16Availability(params reliability.Params) []Fig16Point {
+	if params == (reliability.Params{}) {
+		params = reliability.DefaultParams()
+	}
+	mu := params.Mu()
+	var out []Fig16Point
+	for k := 2; k <= 5; k++ {
+		for m := 1; m <= k-1; m++ {
+			for s := k; s <= 8; s++ {
+				layout := srs.MustLayout(k, m, s)
+				chain := reliability.SRSChain(layout, params).Repairable(mu)
+				out = append(out, Fig16Point{
+					K: k, M: m, S: s,
+					Nines: reliability.Nines(chain.IntervalAvailability(1)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Fig10Row is one bar of Figure 10: the normalized cost of a trace
+// under a storage class, itemized.
+type Fig10Row struct {
+	Trace                                 string
+	Class                                 traces.SchemeClass
+	Write, Read, Transfer, Storage, Total float64
+}
+
+// Fig10Pricing reproduces Figure 10 for the five SPC traces.
+func Fig10Pricing() []Fig10Row {
+	var out []Fig10Row
+	for _, tr := range traces.All() {
+		n := traces.Normalized(tr)
+		for _, cl := range []traces.SchemeClass{traces.Simple, traces.Hot, traces.Cold} {
+			c := n[cl]
+			out = append(out, Fig10Row{
+				Trace: tr.Name, Class: cl,
+				Write: c.Write, Read: c.Read, Transfer: c.Transfer,
+				Storage: c.Storage, Total: c.Total(),
+			})
+		}
+	}
+	return out
+}
+
+// FormatFig2 renders the reliability sweep grouped by anchor code.
+func FormatFig2(points []Fig2Point) string {
+	out := "Figure 2: annual reliability of SRS(k,m,s), in nines\n"
+	last := ""
+	for _, p := range points {
+		anchor := fmt.Sprintf("RS(%d,%d)", p.K, p.M)
+		if anchor != last {
+			out += anchor + ":\n"
+			last = anchor
+		}
+		out += fmt.Sprintf("    s=%d  %6.2f nines\n", p.S, p.Nines)
+	}
+	return out
+}
+
+// FormatFig16 renders the availability sweep grouped by anchor code.
+func FormatFig16(points []Fig16Point) string {
+	out := "Figure 16: interval availability of SRS(k,m,s), in nines\n"
+	last := ""
+	for _, p := range points {
+		anchor := fmt.Sprintf("RS(%d,%d)", p.K, p.M)
+		if anchor != last {
+			out += anchor + ":\n"
+			last = anchor
+		}
+		out += fmt.Sprintf("    s=%d  %6.3f nines\n", p.S, p.Nines)
+	}
+	return out
+}
+
+// FormatFig10 renders the pricing rows as the stacked components of
+// the figure.
+func FormatFig10(rows []Fig10Row) string {
+	out := "Figure 10: normalized storage price by trace and class\n"
+	out += fmt.Sprintf("%-12s %-7s %7s %7s %9s %8s %7s\n",
+		"trace", "class", "write", "read", "transfer", "storage", "total")
+	for _, r := range rows {
+		out += fmt.Sprintf("%-12s %-7s %7.3f %7.3f %9.3f %8.3f %7.3f\n",
+			r.Trace, r.Class, r.Write, r.Read, r.Transfer, r.Storage, r.Total)
+	}
+	return out
+}

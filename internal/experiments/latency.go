@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ring/internal/baselines"
+	"ring/internal/proto"
+)
+
+// Fig7Put reproduces Figures 7(a) and 7(b): put latency as a function
+// of object size for every memgest, plus the (scheme-independent) get
+// latency curve. reps <= 0 selects the default sample count.
+func Fig7Put(reps int) ([]Series, error) {
+	if reps <= 0 {
+		reps = 31
+	}
+	sizes := PaperSizes()
+	var series []Series
+	for mgIdx, sc := range PaperSchemes {
+		mg := proto.MemgestID(mgIdx + 1)
+		s, c, err := newPaperSim(0)
+		if err != nil {
+			return nil, err
+		}
+		_ = s
+		cur := Series{Label: sc.Label()}
+		for _, size := range sizes {
+			val := make([]byte, size)
+			var lats []time.Duration
+			for r := 0; r < reps; r++ {
+				key := fmt.Sprintf("f7-%d-%d-%d", mg, size, r)
+				lat, pr, err := c.PutSync(key, val, mg)
+				if err != nil || pr.Status != proto.StOK {
+					return nil, fmt.Errorf("fig7 put %s: %v (%v)", key, err, pr)
+				}
+				lats = append(lats, lat)
+			}
+			cur.Points = append(cur.Points, LatencyPoint{
+				Size: size, Median: percentile(lats, 0.5), P90: percentile(lats, 0.9),
+			})
+		}
+		series = append(series, cur)
+	}
+	return series, nil
+}
+
+// Fig7Get reproduces the get-latency curve of Figure 7(b). All
+// memgests share the get path, so one representative curve is
+// returned, measured across all schemes to demonstrate the invariance.
+func Fig7Get(reps int) (Series, error) {
+	if reps <= 0 {
+		reps = 31
+	}
+	_, c, err := newPaperSim(0)
+	if err != nil {
+		return Series{}, err
+	}
+	cur := Series{Label: "get"}
+	for _, size := range PaperSizes() {
+		val := make([]byte, size)
+		var lats []time.Duration
+		for r := 0; r < reps; r++ {
+			mg := proto.MemgestID(r%len(PaperSchemes) + 1)
+			key := fmt.Sprintf("f7g-%d-%d", size, r)
+			if _, pr, err := c.PutSync(key, val, mg); err != nil || pr.Status != proto.StOK {
+				return Series{}, fmt.Errorf("fig7 get setup: %v", err)
+			}
+			lat, gr, err := c.GetSync(key)
+			if err != nil || gr.Status != proto.StOK {
+				return Series{}, fmt.Errorf("fig7 get: %v", err)
+			}
+			lats = append(lats, lat)
+		}
+		cur.Points = append(cur.Points, LatencyPoint{
+			Size: size, Median: percentile(lats, 0.5), P90: percentile(lats, 0.9),
+		})
+	}
+	return cur, nil
+}
+
+// Fig7c reproduces the baseline latency curves of Figure 7(c):
+// memcached, Dare, and RAMCloud put and get latency by object size
+// (Cocytus rows reflect the numbers its paper reports, via the model).
+func Fig7c() []Series {
+	sizes := PaperSizes()
+	var out []Series
+	for _, m := range baselines.All() {
+		put := Series{Label: m.Name + " put"}
+		get := Series{Label: m.Name + " get"}
+		for _, size := range sizes {
+			put.Points = append(put.Points, LatencyPoint{Size: size, Median: m.PutLatency(size), P90: m.PutLatency(size) * 11 / 10})
+			get.Points = append(get.Points, LatencyPoint{Size: size, Median: m.GetLatency(size), P90: m.GetLatency(size) * 11 / 10})
+		}
+		out = append(out, put, get)
+	}
+	return out
+}
+
+// Fig8Move reproduces Figures 8(a) and 8(b): the latency of move
+// requests by destination memgest and object size. The source scheme
+// does not matter (the data is local); following the paper, sources
+// are chosen so source != destination.
+func Fig8Move(reps int) ([]Series, error) {
+	if reps <= 0 {
+		reps = 31
+	}
+	sizes := PaperSizes()
+	var series []Series
+	for mgIdx, sc := range PaperSchemes {
+		dst := proto.MemgestID(mgIdx + 1)
+		// Source: REP1 unless the destination is REP1, then SRS32.
+		src := MemgestID("REP1")
+		if dst == src {
+			src = MemgestID("SRS32")
+		}
+		_, c, err := newPaperSim(0)
+		if err != nil {
+			return nil, err
+		}
+		cur := Series{Label: "to " + sc.Label()}
+		for _, size := range sizes {
+			val := make([]byte, size)
+			var lats []time.Duration
+			for r := 0; r < reps; r++ {
+				key := fmt.Sprintf("f8-%d-%d-%d", dst, size, r)
+				if _, pr, err := c.PutSync(key, val, src); err != nil || pr.Status != proto.StOK {
+					return nil, fmt.Errorf("fig8 setup: %v", err)
+				}
+				lat, mr, err := c.MoveSync(key, dst)
+				if err != nil || mr.Status != proto.StOK {
+					return nil, fmt.Errorf("fig8 move: %v (%v)", err, mr)
+				}
+				lats = append(lats, lat)
+			}
+			cur.Points = append(cur.Points, LatencyPoint{
+				Size: size, Median: percentile(lats, 0.5), P90: percentile(lats, 0.9),
+			})
+		}
+		series = append(series, cur)
+	}
+	return series, nil
+}

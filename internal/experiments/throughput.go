@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ring/internal/baselines"
+	"ring/internal/proto"
+	"ring/internal/sim"
+	"ring/internal/workload"
+)
+
+// SaturatedThroughput measures the aggregate saturated request rate of
+// one memgest by offering far-over-capacity open-loop load (spread
+// over all shards) for a burst window and counting completions.
+// mix controls the get:put ratio; valueSize is the object size.
+func SaturatedThroughput(mg proto.MemgestID, mix workload.Mix, valueSize int, burst time.Duration) (float64, error) {
+	if burst <= 0 {
+		burst = 50 * time.Millisecond
+	}
+	// A large block size keeps the SRS heaps far from exhaustion
+	// while overload delays commits (and therefore version GC).
+	s, c, err := newPaperSim(8 << 20)
+	if err != nil {
+		return 0, err
+	}
+	// Preload the key space so gets hit.
+	gen := workload.NewGenerator(workload.NewZipfian(512, workload.DefaultTheta, 1), mix, 2)
+	gen.SetValueSize(valueSize)
+	val := make([]byte, valueSize)
+	for i := 0; i < 512; i++ {
+		key := gen.Key(i)
+		if _, pr, err := c.PutSync(key, val, mg); err != nil || pr.Status != proto.StOK {
+			return 0, fmt.Errorf("preload %s: %v", key, err)
+		}
+	}
+	start := s.Now()
+	// Offer ~6M req/s — far above any scheme's capacity.
+	const offered = 6e6
+	ops := gen.ConstantRate(start, offered, int(offered*burst.Seconds()))
+	done := 0
+	for _, op := range ops {
+		switch op.Kind {
+		case workload.OpGet:
+			c.GetAt(op.At, op.Key, func(_ time.Duration, r *proto.GetReply) {
+				if r.Status == proto.StOK {
+					done++
+				}
+			})
+		case workload.OpPut:
+			c.PutAt(op.At, op.Key, op.Value, mg, func(_ time.Duration, r *proto.PutReply) {
+				if r.Status == proto.StOK {
+					done++
+				}
+			})
+		}
+	}
+	s.RunToQuiescence()
+	elapsed := (s.Now() - start).Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("no virtual time elapsed")
+	}
+	return float64(done) / elapsed, nil
+}
+
+// Fig9Sample is one point of the Figure 9 throughput traces.
+type Fig9Sample struct {
+	Label      string
+	Second     int
+	Clients    int
+	ReqsPerSec float64
+}
+
+// Fig9 reproduces the put-throughput ramp of Figure 9: every second a
+// new client starts offering ratePerClient put requests of 1 KiB;
+// throughput follows min(offered, capacity). Capacities are measured
+// in the simulator (Ring schemes) or taken from the baseline models.
+func Fig9(clients int, ratePerClient float64, burst time.Duration) ([]Fig9Sample, error) {
+	if clients <= 0 {
+		clients = 4
+	}
+	if ratePerClient <= 0 {
+		ratePerClient = 400e3
+	}
+	labels := []string{"REP1", "REP3", "SRS32"}
+	caps := make(map[string]float64)
+	for _, l := range labels {
+		capc, err := SaturatedThroughput(MemgestID(l), workload.Mix{Get: 0, Put: 100}, 1024, burst)
+		if err != nil {
+			return nil, err
+		}
+		caps[l] = capc
+	}
+	caps["memcached"] = baselines.Memcached().PutThroughput(1024)
+	caps["Dare"] = baselines.Dare().PutThroughput(1024)
+	caps["Cocytus"] = baselines.Cocytus().PutThroughput(1024)
+	var out []Fig9Sample
+	for _, l := range append(labels, "memcached", "Dare", "Cocytus") {
+		for sec := 1; sec <= clients; sec++ {
+			offered := float64(sec) * ratePerClient
+			tput := offered
+			if tput > caps[l] {
+				tput = caps[l]
+			}
+			out = append(out, Fig9Sample{Label: l, Second: sec, Clients: sec, ReqsPerSec: tput})
+		}
+	}
+	return out, nil
+}
+
+// Fig11Row is one cell of the Figure 11 matrix: the saturated
+// throughput of a scheme under a get:put mix.
+type Fig11Row struct {
+	Label      string
+	Mix        workload.Mix
+	ReqsPerSec float64
+}
+
+// Fig11 reproduces Figure 11: single-memgest throughput under the four
+// YCSB mixes with Zipfian keys and 1 KiB values, for REP1, REP3,
+// SRS21, and SRS32.
+func Fig11(burst time.Duration) ([]Fig11Row, error) {
+	var out []Fig11Row
+	for _, label := range []string{"REP1", "REP3", "SRS21", "SRS32"} {
+		for _, mix := range workload.PaperMixes {
+			tput, err := SaturatedThroughput(MemgestID(label), mix, 1024, burst)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig11Row{Label: label, Mix: mix, ReqsPerSec: tput})
+		}
+	}
+	return out, nil
+}
+
+// Table1 reproduces the motivation table of Section 1: reliability
+// (tolerated failures for durability), put latency, put throughput and
+// storage cost of Simple (Rep 1), Rep(3) and RS(3,2), normalized to
+// Simple.
+type Table1Row struct {
+	Scheme         string
+	Tolerated      int
+	PutLatencyX    float64
+	PutThroughputX float64
+	StorageCostX   float64
+}
+
+// Table1 computes the table by measurement (latency, throughput) and
+// arithmetic (durability, storage overhead).
+func Table1(burst time.Duration) ([]Table1Row, error) {
+	type entry struct {
+		label     string
+		mg        proto.MemgestID
+		tolerated int
+		storage   float64
+	}
+	entries := []entry{
+		{"Simple", MemgestID("REP1"), 0, 1},
+		{"Rep(3)", MemgestID("REP3"), 2, 3},
+		{"RS(3,2)", MemgestID("SRS32"), 2, 5.0 / 3.0},
+	}
+	_, c, err := newPaperSim(0)
+	if err != nil {
+		return nil, err
+	}
+	val := make([]byte, 1024)
+	lat := make(map[string]time.Duration)
+	for _, e := range entries {
+		var lats []time.Duration
+		for r := 0; r < 15; r++ {
+			l, pr, err := c.PutSync(fmt.Sprintf("t1-%s-%d", e.label, r), val, e.mg)
+			if err != nil || pr.Status != proto.StOK {
+				return nil, fmt.Errorf("table1 put: %v", err)
+			}
+			lats = append(lats, l)
+		}
+		lat[e.label] = percentile(lats, 0.5)
+	}
+	tput := make(map[string]float64)
+	for _, e := range entries {
+		tp, err := SaturatedThroughput(e.mg, workload.Mix{Get: 0, Put: 100}, 1024, burst)
+		if err != nil {
+			return nil, err
+		}
+		tput[e.label] = tp
+	}
+	base := entries[0].label
+	var out []Table1Row
+	for _, e := range entries {
+		out = append(out, Table1Row{
+			Scheme:         e.label,
+			Tolerated:      e.tolerated,
+			PutLatencyX:    float64(lat[e.label]) / float64(lat[base]),
+			PutThroughputX: tput[e.label] / tput[base],
+			StorageCostX:   e.storage,
+		})
+	}
+	return out, nil
+}
+
+// movedThroughput is used by the heavy-updates example and the move
+// benefit analysis of Section 6.2: the put-throughput gain available
+// by moving a hot key set to REP1.
+func movedThroughput(burst time.Duration) (rep1, srs32 float64, err error) {
+	rep1, err = SaturatedThroughput(MemgestID("REP1"), workload.Mix{Put: 100}, 1024, burst)
+	if err != nil {
+		return
+	}
+	srs32, err = SaturatedThroughput(MemgestID("SRS32"), workload.Mix{Put: 100}, 1024, burst)
+	return
+}
+
+// MoveSpeedup reports the throughput factor gained by serving a
+// put-heavy phase from REP1 instead of SRS32 (the heavy-updates use
+// case).
+func MoveSpeedup(burst time.Duration) (float64, error) {
+	r1, s32, err := movedThroughput(burst)
+	if err != nil {
+		return 0, err
+	}
+	return r1 / s32, nil
+}
+
+// ensure sim import is used even if future edits drop direct uses.
+var _ = sim.DefaultModel

@@ -1,0 +1,225 @@
+// Package gf implements arithmetic over the Galois field GF(2^8).
+//
+// The field is constructed with the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the same polynomial used by the
+// Jerasure/GF-Complete stack the paper builds on. Addition is XOR;
+// multiplication and division are driven by logarithm/antilogarithm
+// tables built once at package initialization.
+//
+// Besides scalar operations the package provides slice kernels
+// (MulSlice, MulSliceXor, XorSlice) that apply one coefficient to a
+// whole buffer. These are the inner loops of Reed-Solomon encoding,
+// decoding, and delta parity updates, so they use a per-coefficient
+// 256-entry product table and 8-way unrolling rather than log/exp
+// lookups per byte.
+package gf
+
+import "fmt"
+
+// Poly is the primitive polynomial defining the field, with the x^8
+// term included (0x11d = x^8+x^4+x^3+x^2+1).
+const Poly = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+var (
+	// expTbl[i] = g^i where g=2 is a generator. Doubled in length so
+	// Mul can add logs without reducing mod 255.
+	expTbl [2 * 255]byte
+	// logTbl[x] = log_g(x); logTbl[0] is unused (log of zero is
+	// undefined) and left as 0.
+	logTbl [256]byte
+	// mulTbl[c] is the 256-entry row of products c*x for every x.
+	// Rows are materialized lazily by MulTable and cached here; the
+	// whole table is 64 KiB when fully populated.
+	mulTbl [256]*[256]byte
+	// invTbl[x] = x^-1; invTbl[0] unused.
+	invTbl [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTbl[i] = byte(x)
+		expTbl[i+255] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	for i := 1; i < 256; i++ {
+		invTbl[i] = Exp(255 - int(logTbl[i]))
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition and subtraction coincide.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a-b in GF(2^8); identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+int(logTbl[b])]
+}
+
+// Div returns a/b in GF(2^8). It panics if b is zero.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTbl[a]) - int(logTbl[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTbl[d]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a is zero.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return invTbl[a]
+}
+
+// Exp returns g^n for the generator g=2. Negative n is reduced modulo
+// 255 into the principal range.
+func Exp(n int) byte {
+	n %= 255
+	if n < 0 {
+		n += 255
+	}
+	return expTbl[n]
+}
+
+// Log returns log_g(a). It panics if a is zero.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(logTbl[a])
+}
+
+// Pow returns a^n.
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return Exp(Log(a) * n % 255)
+}
+
+// MulTable returns the 256-entry product row for coefficient c:
+// row[x] == Mul(c, x). The returned array is shared and must not be
+// modified.
+func MulTable(c byte) *[256]byte {
+	if t := mulTbl[c]; t != nil {
+		return t
+	}
+	t := new([256]byte)
+	for x := 0; x < 256; x++ {
+		t[x] = Mul(c, byte(x))
+	}
+	mulTbl[c] = t
+	return t
+}
+
+// MulSlice sets dst[i] = c*src[i] for all i. dst and src must have the
+// same length (it panics otherwise). c==0 zeroes dst; c==1 copies.
+func MulSlice(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf: MulSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	t := MulTable(c)
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] = t[src[i]]
+		dst[i+1] = t[src[i+1]]
+		dst[i+2] = t[src[i+2]]
+		dst[i+3] = t[src[i+3]]
+		dst[i+4] = t[src[i+4]]
+		dst[i+5] = t[src[i+5]]
+		dst[i+6] = t[src[i+6]]
+		dst[i+7] = t[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] = t[src[i]]
+	}
+}
+
+// MulSliceXor sets dst[i] ^= c*src[i] for all i. This is the kernel of
+// both parity generation and delta parity updates.
+func MulSliceXor(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf: MulSliceXor length mismatch %d != %d", len(src), len(dst)))
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(src, dst)
+		return
+	}
+	t := MulTable(c)
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= t[src[i]]
+		dst[i+1] ^= t[src[i+1]]
+		dst[i+2] ^= t[src[i+2]]
+		dst[i+3] ^= t[src[i+3]]
+		dst[i+4] ^= t[src[i+4]]
+		dst[i+5] ^= t[src[i+5]]
+		dst[i+6] ^= t[src[i+6]]
+		dst[i+7] ^= t[src[i+7]]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= t[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for all i (multiplication by 1).
+// Word-at-a-time via unrolled byte ops; the compiler vectorizes this
+// shape well.
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panic(fmt.Sprintf("gf: XorSlice length mismatch %d != %d", len(src), len(dst)))
+	}
+	n := len(src)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for ; i < n; i++ {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,785 @@
+package proto
+
+import "fmt"
+
+// MsgType tags the envelope of every wire message.
+type MsgType uint8
+
+const (
+	// Client operations.
+	TPut MsgType = iota + 1
+	TPutReply
+	TGet
+	TGetReply
+	TDelete
+	TDeleteReply
+	TMove
+	TMoveReply
+	TCreateMemgest
+	TDeleteMemgest
+	TSetDefault
+	TGetDescriptor
+	TMemgestReply
+	TResolve
+	TResolveReply
+	// Replication and parity propagation.
+	TRepAppend
+	TRepAck
+	TRepCommit
+	TParityUpdate
+	TParityAck
+	TPurge
+	// Membership.
+	THeartbeat
+	THeartbeatAck
+	TConfigPush
+	TConfigAck
+	// Recovery.
+	TMetaFetch
+	TMetaFetchReply
+	TDataFetch
+	TDataFetchReply
+	TBlockRecover
+	TBlockRecoverReply
+	TBlockFetch
+	TBlockFetchReply
+	// Local timer tick (never serialized onto the network, but given a
+	// type so runners can inject it uniformly).
+	TTick
+)
+
+// Status is the result code carried by replies.
+type Status uint8
+
+const (
+	StOK Status = iota
+	StNotFound
+	StNoMemgest
+	StWrongNode // request reached a node that does not own the shard
+	StRetry     // transient: resend after re-resolving the config
+	StInvalid   // malformed or rejected request
+	StUnavailable
+)
+
+func (s Status) String() string {
+	switch s {
+	case StOK:
+		return "OK"
+	case StNotFound:
+		return "not found"
+	case StNoMemgest:
+		return "no such memgest"
+	case StWrongNode:
+		return "wrong node"
+	case StRetry:
+		return "retry"
+	case StInvalid:
+		return "invalid"
+	case StUnavailable:
+		return "unavailable"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Err converts a non-OK status into an error (nil for StOK).
+func (s Status) Err() error {
+	if s == StOK {
+		return nil
+	}
+	return fmt.Errorf("ring: %s", s)
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	Type() MsgType
+	encode(w *writer)
+}
+
+// Encode serializes a message with its envelope type byte.
+func Encode(m Message) []byte {
+	w := &writer{b: make([]byte, 0, 64)}
+	w.u8(uint8(m.Type()))
+	m.encode(w)
+	return w.b
+}
+
+// Decode parses an envelope produced by Encode.
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < 1 {
+		return nil, ErrTruncated
+	}
+	r := &reader{b: buf[1:]}
+	var m Message
+	switch MsgType(buf[0]) {
+	case TPut:
+		m = decPut(r)
+	case TPutReply:
+		m = decPutReply(r)
+	case TGet:
+		m = decGet(r)
+	case TGetReply:
+		m = decGetReply(r)
+	case TDelete:
+		m = decDelete(r)
+	case TDeleteReply:
+		m = decDeleteReply(r)
+	case TMove:
+		m = decMove(r)
+	case TMoveReply:
+		m = decMoveReply(r)
+	case TCreateMemgest:
+		m = decCreateMemgest(r)
+	case TDeleteMemgest:
+		m = decDeleteMemgest(r)
+	case TSetDefault:
+		m = decSetDefault(r)
+	case TGetDescriptor:
+		m = decGetDescriptor(r)
+	case TMemgestReply:
+		m = decMemgestReply(r)
+	case TResolve:
+		m = decResolve(r)
+	case TResolveReply:
+		m = decResolveReply(r)
+	case TRepAppend:
+		m = decRepAppend(r)
+	case TRepAck:
+		m = decRepAck(r)
+	case TRepCommit:
+		m = decRepCommit(r)
+	case TParityUpdate:
+		m = decParityUpdate(r)
+	case TParityAck:
+		m = decParityAck(r)
+	case TPurge:
+		m = decPurge(r)
+	case THeartbeat:
+		m = decHeartbeat(r)
+	case THeartbeatAck:
+		m = decHeartbeatAck(r)
+	case TConfigPush:
+		m = decConfigPush(r)
+	case TConfigAck:
+		m = decConfigAck(r)
+	case TMetaFetch:
+		m = decMetaFetch(r)
+	case TMetaFetchReply:
+		m = decMetaFetchReply(r)
+	case TDataFetch:
+		m = decDataFetch(r)
+	case TDataFetchReply:
+		m = decDataFetchReply(r)
+	case TBlockRecover:
+		m = decBlockRecover(r)
+	case TBlockRecoverReply:
+		m = decBlockRecoverReply(r)
+	case TBlockFetch:
+		m = decBlockFetch(r)
+	case TBlockFetchReply:
+		m = decBlockFetchReply(r)
+	case TTick:
+		m = &Tick{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, buf[0])
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------- client ops
+
+// Put writes a value under key into the given memgest (0 = cluster
+// default).
+type Put struct {
+	Req     ReqID
+	Key     string
+	Value   []byte
+	Memgest MemgestID
+}
+
+func (*Put) Type() MsgType { return TPut }
+func (m *Put) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.str(m.Key)
+	w.bytes(m.Value)
+	w.u32(uint32(m.Memgest))
+}
+func decPut(r *reader) *Put {
+	return &Put{Req: ReqID(r.u64()), Key: r.str(), Value: r.bytes(), Memgest: MemgestID(r.u32())}
+}
+
+// PutReply acknowledges a committed Put.
+type PutReply struct {
+	Req     ReqID
+	Status  Status
+	Version Version
+}
+
+func (*PutReply) Type() MsgType { return TPutReply }
+func (m *PutReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u64(uint64(m.Version))
+}
+func decPutReply(r *reader) *PutReply {
+	return &PutReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Version: Version(r.u64())}
+}
+
+// Get reads a version of key: Version 0 selects the highest version
+// (parking the reply until it commits); a nonzero Version reads that
+// exact version if it is still retained (see Options.KeepVersions),
+// which is how the heavy-updates use case reads back the preserved
+// reliable copy of a key.
+type Get struct {
+	Req     ReqID
+	Key     string
+	Version Version
+}
+
+func (*Get) Type() MsgType { return TGet }
+func (m *Get) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.str(m.Key)
+	w.u64(uint64(m.Version))
+}
+func decGet(r *reader) *Get {
+	return &Get{Req: ReqID(r.u64()), Key: r.str(), Version: Version(r.u64())}
+}
+
+// GetReply returns the value (or NotFound).
+type GetReply struct {
+	Req     ReqID
+	Status  Status
+	Version Version
+	Value   []byte
+}
+
+func (*GetReply) Type() MsgType { return TGetReply }
+func (m *GetReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u64(uint64(m.Version))
+	w.bytes(m.Value)
+}
+func decGetReply(r *reader) *GetReply {
+	return &GetReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Version: Version(r.u64()), Value: r.bytes()}
+}
+
+// Delete removes key (a committed tombstone version).
+type Delete struct {
+	Req ReqID
+	Key string
+}
+
+func (*Delete) Type() MsgType { return TDelete }
+func (m *Delete) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.str(m.Key)
+}
+func decDelete(r *reader) *Delete { return &Delete{Req: ReqID(r.u64()), Key: r.str()} }
+
+// DeleteReply acknowledges a Delete.
+type DeleteReply struct {
+	Req    ReqID
+	Status Status
+}
+
+func (*DeleteReply) Type() MsgType { return TDeleteReply }
+func (m *DeleteReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+}
+func decDeleteReply(r *reader) *DeleteReply {
+	return &DeleteReply{Req: ReqID(r.u64()), Status: Status(r.u8())}
+}
+
+// Move transfers key to another memgest without resending the value
+// (the data is local to the coordinator thanks to SRS co-location).
+type Move struct {
+	Req     ReqID
+	Key     string
+	Memgest MemgestID
+}
+
+func (*Move) Type() MsgType { return TMove }
+func (m *Move) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.str(m.Key)
+	w.u32(uint32(m.Memgest))
+}
+func decMove(r *reader) *Move {
+	return &Move{Req: ReqID(r.u64()), Key: r.str(), Memgest: MemgestID(r.u32())}
+}
+
+// MoveReply acknowledges a committed Move.
+type MoveReply struct {
+	Req     ReqID
+	Status  Status
+	Version Version
+}
+
+func (*MoveReply) Type() MsgType { return TMoveReply }
+func (m *MoveReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u64(uint64(m.Version))
+}
+func decMoveReply(r *reader) *MoveReply {
+	return &MoveReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Version: Version(r.u64())}
+}
+
+// CreateMemgest asks the leader to instantiate a new storage scheme.
+type CreateMemgest struct {
+	Req    ReqID
+	Scheme Scheme
+}
+
+func (*CreateMemgest) Type() MsgType { return TCreateMemgest }
+func (m *CreateMemgest) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.scheme(m.Scheme)
+}
+func decCreateMemgest(r *reader) *CreateMemgest {
+	return &CreateMemgest{Req: ReqID(r.u64()), Scheme: r.scheme()}
+}
+
+// DeleteMemgest removes a memgest (which must be empty of live keys in
+// this implementation).
+type DeleteMemgest struct {
+	Req     ReqID
+	Memgest MemgestID
+}
+
+func (*DeleteMemgest) Type() MsgType { return TDeleteMemgest }
+func (m *DeleteMemgest) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+}
+func decDeleteMemgest(r *reader) *DeleteMemgest {
+	return &DeleteMemgest{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32())}
+}
+
+// SetDefault selects the memgest used for puts without an explicit one.
+type SetDefault struct {
+	Req     ReqID
+	Memgest MemgestID
+}
+
+func (*SetDefault) Type() MsgType { return TSetDefault }
+func (m *SetDefault) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+}
+func decSetDefault(r *reader) *SetDefault {
+	return &SetDefault{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32())}
+}
+
+// GetDescriptor retrieves a memgest's scheme.
+type GetDescriptor struct {
+	Req     ReqID
+	Memgest MemgestID
+}
+
+func (*GetDescriptor) Type() MsgType { return TGetDescriptor }
+func (m *GetDescriptor) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+}
+func decGetDescriptor(r *reader) *GetDescriptor {
+	return &GetDescriptor{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32())}
+}
+
+// MemgestReply answers memgest management requests.
+type MemgestReply struct {
+	Req     ReqID
+	Status  Status
+	Memgest MemgestID
+	Scheme  Scheme
+}
+
+func (*MemgestReply) Type() MsgType { return TMemgestReply }
+func (m *MemgestReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u32(uint32(m.Memgest))
+	w.scheme(m.Scheme)
+}
+func decMemgestReply(r *reader) *MemgestReply {
+	return &MemgestReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Memgest: MemgestID(r.u32()), Scheme: r.scheme()}
+}
+
+// Resolve asks any node for the current cluster configuration.
+type Resolve struct {
+	Req ReqID
+}
+
+func (*Resolve) Type() MsgType      { return TResolve }
+func (m *Resolve) encode(w *writer) { w.u64(uint64(m.Req)) }
+func decResolve(r *reader) *Resolve { return &Resolve{Req: ReqID(r.u64())} }
+
+// ResolveReply carries the node's current configuration.
+type ResolveReply struct {
+	Req    ReqID
+	Config *Config
+}
+
+func (*ResolveReply) Type() MsgType { return TResolveReply }
+func (m *ResolveReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.config(m.Config)
+}
+func decResolveReply(r *reader) *ResolveReply {
+	return &ResolveReply{Req: ReqID(r.u64()), Config: r.config()}
+}
+
+// ------------------------------------------------------------- replication
+
+// RepAppend replicates one log entry (metadata + value) of a
+// replicated memgest from the coordinator to a replica.
+type RepAppend struct {
+	Memgest MemgestID
+	Shard   uint32
+	Seq     Seq
+	Rec     MetaRecord
+	Value   []byte
+}
+
+func (*RepAppend) Type() MsgType { return TRepAppend }
+func (m *RepAppend) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+	w.metaRecord(&m.Rec)
+	w.bytes(m.Value)
+}
+func decRepAppend(r *reader) *RepAppend {
+	return &RepAppend{Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64()), Rec: r.metaRecord(), Value: r.bytes()}
+}
+
+// RepAck acknowledges replication of one log entry.
+type RepAck struct {
+	Memgest MemgestID
+	Shard   uint32
+	Seq     Seq
+}
+
+func (*RepAck) Type() MsgType { return TRepAck }
+func (m *RepAck) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+}
+func decRepAck(r *reader) *RepAck {
+	return &RepAck{Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64())}
+}
+
+// RepCommit advances the commit index on replicas and parity nodes so
+// they can flip committed flags (and lagging Rep replicas apply).
+type RepCommit struct {
+	Memgest MemgestID
+	Shard   uint32
+	Seq     Seq
+}
+
+func (*RepCommit) Type() MsgType { return TRepCommit }
+func (m *RepCommit) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+}
+func decRepCommit(r *reader) *RepCommit {
+	return &RepCommit{Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64())}
+}
+
+// ParityUpdate carries the coefficient-multiplied delta produced by a
+// coordinator to one parity node of an SRS memgest, together with the
+// metadata record so the parity node can maintain its replica of the
+// metadata hashtable. Block is the coordinator's logical block,
+// StripeOff its stripe offset t, Off the byte offset within the block.
+type ParityUpdate struct {
+	Memgest   MemgestID
+	Shard     uint32
+	Seq       Seq
+	Rec       MetaRecord
+	Block     uint32
+	StripeOff uint32
+	Off       uint32
+	Delta     []byte
+}
+
+func (*ParityUpdate) Type() MsgType { return TParityUpdate }
+func (m *ParityUpdate) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+	w.metaRecord(&m.Rec)
+	w.u32(m.Block)
+	w.u32(m.StripeOff)
+	w.u32(m.Off)
+	w.bytes(m.Delta)
+}
+func decParityUpdate(r *reader) *ParityUpdate {
+	return &ParityUpdate{
+		Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64()),
+		Rec: r.metaRecord(), Block: r.u32(), StripeOff: r.u32(), Off: r.u32(), Delta: r.bytes(),
+	}
+}
+
+// ParityAck acknowledges application of a parity update.
+type ParityAck struct {
+	Memgest MemgestID
+	Shard   uint32
+	Seq     Seq
+}
+
+func (*ParityAck) Type() MsgType { return TParityAck }
+func (m *ParityAck) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+}
+func decParityAck(r *reader) *ParityAck {
+	return &ParityAck{Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64())}
+}
+
+// Purge garbage-collects an old version of a key on redundancy nodes
+// after a newer version committed.
+type Purge struct {
+	Memgest MemgestID
+	Shard   uint32
+	Key     string
+	Version Version
+}
+
+func (*Purge) Type() MsgType { return TPurge }
+func (m *Purge) encode(w *writer) {
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.str(m.Key)
+	w.u64(uint64(m.Version))
+}
+func decPurge(r *reader) *Purge {
+	return &Purge{Memgest: MemgestID(r.u32()), Shard: r.u32(), Key: r.str(), Version: Version(r.u64())}
+}
+
+// ------------------------------------------------------------- membership
+
+// Heartbeat is sent by the leader to every node.
+type Heartbeat struct {
+	Epoch Epoch
+}
+
+func (*Heartbeat) Type() MsgType        { return THeartbeat }
+func (m *Heartbeat) encode(w *writer)   { w.u64(uint64(m.Epoch)) }
+func decHeartbeat(r *reader) *Heartbeat { return &Heartbeat{Epoch: Epoch(r.u64())} }
+
+// HeartbeatAck confirms liveness to the leader.
+type HeartbeatAck struct {
+	Epoch Epoch
+}
+
+func (*HeartbeatAck) Type() MsgType      { return THeartbeatAck }
+func (m *HeartbeatAck) encode(w *writer) { w.u64(uint64(m.Epoch)) }
+func decHeartbeatAck(r *reader) *HeartbeatAck {
+	return &HeartbeatAck{Epoch: Epoch(r.u64())}
+}
+
+// ConfigPush replicates a new configuration (role assignment entry of
+// the membership log).
+type ConfigPush struct {
+	Config *Config
+}
+
+func (*ConfigPush) Type() MsgType      { return TConfigPush }
+func (m *ConfigPush) encode(w *writer) { w.config(m.Config) }
+func decConfigPush(r *reader) *ConfigPush {
+	return &ConfigPush{Config: r.config()}
+}
+
+// ConfigAck confirms installation of a configuration epoch.
+type ConfigAck struct {
+	Epoch Epoch
+}
+
+func (*ConfigAck) Type() MsgType        { return TConfigAck }
+func (m *ConfigAck) encode(w *writer)   { w.u64(uint64(m.Epoch)) }
+func decConfigAck(r *reader) *ConfigAck { return &ConfigAck{Epoch: Epoch(r.u64())} }
+
+// --------------------------------------------------------------- recovery
+
+// MetaFetch asks a node for its metadata hashtable of one memgest
+// shard (step 5 of the recovery sequence).
+type MetaFetch struct {
+	Req     ReqID
+	Memgest MemgestID
+	Shard   uint32
+}
+
+func (*MetaFetch) Type() MsgType { return TMetaFetch }
+func (m *MetaFetch) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+}
+func decMetaFetch(r *reader) *MetaFetch {
+	return &MetaFetch{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Shard: r.u32()}
+}
+
+// MetaFetchReply returns the metadata records and the log position up
+// to which they are complete.
+type MetaFetchReply struct {
+	Req     ReqID
+	Status  Status
+	Memgest MemgestID
+	Shard   uint32
+	Seq     Seq
+	Recs    []MetaRecord
+}
+
+func (*MetaFetchReply) Type() MsgType { return TMetaFetchReply }
+func (m *MetaFetchReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.u64(uint64(m.Seq))
+	w.u32(uint32(len(m.Recs)))
+	for i := range m.Recs {
+		w.metaRecord(&m.Recs[i])
+	}
+}
+func decMetaFetchReply(r *reader) *MetaFetchReply {
+	m := &MetaFetchReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Memgest: MemgestID(r.u32()), Shard: r.u32(), Seq: Seq(r.u64())}
+	n := int(r.u32())
+	if r.err != nil || n > len(r.b) {
+		r.fail()
+		return m
+	}
+	m.Recs = make([]MetaRecord, n)
+	for i := range m.Recs {
+		m.Recs[i] = r.metaRecord()
+	}
+	return m
+}
+
+// DataFetch asks a replica for the value of (key, version) during
+// recovery of a replicated memgest.
+type DataFetch struct {
+	Req     ReqID
+	Memgest MemgestID
+	Shard   uint32
+	Key     string
+	Version Version
+}
+
+func (*DataFetch) Type() MsgType { return TDataFetch }
+func (m *DataFetch) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Shard)
+	w.str(m.Key)
+	w.u64(uint64(m.Version))
+}
+func decDataFetch(r *reader) *DataFetch {
+	return &DataFetch{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Shard: r.u32(), Key: r.str(), Version: Version(r.u64())}
+}
+
+// DataFetchReply returns the requested value.
+type DataFetchReply struct {
+	Req    ReqID
+	Status Status
+	Value  []byte
+}
+
+func (*DataFetchReply) Type() MsgType { return TDataFetchReply }
+func (m *DataFetchReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.bytes(m.Value)
+}
+func decDataFetchReply(r *reader) *DataFetchReply {
+	return &DataFetchReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Value: r.bytes()}
+}
+
+// BlockRecover asks a parity node to reconstruct one logical block of
+// an SRS memgest (the on-the-fly recovery of Section 5.5).
+type BlockRecover struct {
+	Req     ReqID
+	Memgest MemgestID
+	Block   uint32
+}
+
+func (*BlockRecover) Type() MsgType { return TBlockRecover }
+func (m *BlockRecover) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Block)
+}
+func decBlockRecover(r *reader) *BlockRecover {
+	return &BlockRecover{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Block: r.u32()}
+}
+
+// BlockRecoverReply returns the reconstructed block contents.
+type BlockRecoverReply struct {
+	Req    ReqID
+	Status Status
+	Block  uint32
+	Data   []byte
+}
+
+func (*BlockRecoverReply) Type() MsgType { return TBlockRecoverReply }
+func (m *BlockRecoverReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u32(m.Block)
+	w.bytes(m.Data)
+}
+func decBlockRecoverReply(r *reader) *BlockRecoverReply {
+	return &BlockRecoverReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Block: r.u32(), Data: r.bytes()}
+}
+
+// BlockFetch asks a data node for the raw contents of one of its
+// logical blocks (used by the parity node while decoding a stripe).
+type BlockFetch struct {
+	Req     ReqID
+	Memgest MemgestID
+	Block   uint32
+}
+
+func (*BlockFetch) Type() MsgType { return TBlockFetch }
+func (m *BlockFetch) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u32(uint32(m.Memgest))
+	w.u32(m.Block)
+}
+func decBlockFetch(r *reader) *BlockFetch {
+	return &BlockFetch{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Block: r.u32()}
+}
+
+// BlockFetchReply returns the raw block contents.
+type BlockFetchReply struct {
+	Req    ReqID
+	Status Status
+	Block  uint32
+	Data   []byte
+}
+
+func (*BlockFetchReply) Type() MsgType { return TBlockFetchReply }
+func (m *BlockFetchReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u32(m.Block)
+	w.bytes(m.Data)
+}
+func decBlockFetchReply(r *reader) *BlockFetchReply {
+	return &BlockFetchReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Block: r.u32(), Data: r.bytes()}
+}
+
+// Tick is the local timer event delivered by runners; it never crosses
+// the network.
+type Tick struct{}
+
+func (*Tick) Type() MsgType    { return TTick }
+func (m *Tick) encode(*writer) {}

@@ -1,0 +1,133 @@
+// Package proto defines the wire protocol of Ring: the identifier
+// types shared across the system, the storage-scheme and cluster
+// configuration descriptors, and every message exchanged between
+// clients, coordinators, replicas, parity nodes, and the leader.
+//
+// Messages are encoded with a hand-rolled little-endian binary format
+// (no reflection): an envelope of [1-byte type][body]. Each message
+// implements Marshaler; Decode dispatches on the type byte. The format
+// is length-prefixed for all variable fields, rejects truncated input,
+// and is covered by round-trip and corpus tests.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated is returned when a buffer ends before a complete value.
+var ErrTruncated = errors.New("proto: truncated message")
+
+// ErrUnknownType is returned for an unrecognized message type byte.
+var ErrUnknownType = errors.New("proto: unknown message type")
+
+// writer appends primitive values to a byte slice.
+type writer struct{ b []byte }
+
+func (w *writer) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *writer) bytes(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+func (w *writer) str(v string) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+// reader consumes primitive values from a byte slice.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.b) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b)
+	r.b = r.b[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) bool() bool { return r.u8() != 0 }
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[:n])
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u32())
+	if r.err != nil || len(r.b) < n {
+		r.fail()
+		return ""
+	}
+	v := string(r.b[:n])
+	r.b = r.b[n:]
+	return v
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("proto: %d trailing bytes", len(r.b))
+	}
+	return nil
+}

@@ -1,0 +1,268 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"ring/internal/srs"
+)
+
+func TestRSChainStructure(t *testing.T) {
+	// RS(3,2) generator must match the worked example of Appendix A.1
+	// (with lambda=1, mu=10):
+	//   [-5   5    0   0]
+	//   [10 -14    4   0]
+	//   [ 0  10  -13   3]
+	//   [ 0   0    0   0]
+	prm := Params{Lambda: 1, DataBytes: 1, NetBytesPerSec: 1, CompSecPerByte: 0}
+	// Force mu = 10 by picking T_reconst = secondsPerYear/10.
+	prm.DataBytes = secondsPerYear / 10
+	prm.NetBytesPerSec = 1
+	c := RSChain(3, 2, prm)
+	want := [][]float64{
+		{-5, 5, 0, 0},
+		{10, -14, 4, 0},
+		{0, 10, -13, 3},
+		{0, 0, 0, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(c.Q[i][j]-want[i][j]) > 1e-9 {
+				t.Fatalf("Q[%d][%d] = %v, want %v", i, j, c.Q[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestSRSChainStructureSRS214(t *testing.T) {
+	// Appendix A.2's example: SRS(2,1,4) has 4 states and splits the
+	// second failure 2/5 survive, 3/5 fail.
+	prm := Params{Lambda: 1, DataBytes: secondsPerYear / 10, NetBytesPerSec: 1}
+	layout := srs.MustLayout(2, 1, 4)
+	c := SRSChain(layout, prm)
+	if c.States() != 4 || c.Absorbing != 3 {
+		t.Fatalf("states=%d absorbing=%d", c.States(), c.Absorbing)
+	}
+	// lambda_i = (s+m-i) lambda per the Appendix formula (the worked
+	// example matrix in the paper uses s+m+1 nodes, inconsistent with
+	// its own formula; we follow the formula).
+	if math.Abs(c.Q[0][1]-5) > 1e-9 {
+		t.Fatalf("Q[0][1] = %v, want 5 (5 nodes x lambda)", c.Q[0][1])
+	}
+	if math.Abs(c.Q[1][2]-4*0.4) > 1e-9 {
+		t.Fatalf("Q[1][2] = %v, want 1.6 (4 lambda x 2/5)", c.Q[1][2])
+	}
+	if math.Abs(c.Q[1][3]-4*0.6) > 1e-9 {
+		t.Fatalf("Q[1][3] = %v, want 2.4 (4 lambda x 3/5)", c.Q[1][3])
+	}
+	// From state 2 every further failure is fatal.
+	if math.Abs(c.Q[2][3]-3) > 1e-9 {
+		t.Fatalf("Q[2][3] = %v, want 3", c.Q[2][3])
+	}
+}
+
+func TestTransientConservation(t *testing.T) {
+	c := RSChain(3, 2, DefaultParams())
+	for _, tm := range []float64{0, 1e-6, 0.01, 0.5, 1, 5} {
+		p := c.Transient(tm)
+		sum := 0.0
+		for _, v := range p {
+			if v < -1e-12 {
+				t.Fatalf("negative probability %v at t=%v", v, tm)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v at t=%v", sum, tm)
+		}
+	}
+}
+
+func TestReliabilityMonotoneInTime(t *testing.T) {
+	c := RSChain(2, 1, DefaultParams())
+	r1 := c.Reliability(0.25)
+	r2 := c.Reliability(1)
+	r3 := c.Reliability(4)
+	if !(r1 >= r2 && r2 >= r3) {
+		t.Fatalf("reliability not decreasing in time: %v %v %v", r1, r2, r3)
+	}
+	if r2 <= 0 || r2 >= 1 {
+		t.Fatalf("annual reliability out of range: %v", r2)
+	}
+}
+
+func TestMoreParityMoreReliable(t *testing.T) {
+	prm := DefaultParams()
+	var last float64 = -1
+	for m := 1; m <= 4; m++ {
+		r := RSChain(4, m, prm).Reliability(1)
+		n := Nines(r)
+		if n <= last {
+			t.Fatalf("RS(4,%d) nines %v not above RS(4,%d) %v", m, n, m-1, last)
+		}
+		last = n
+	}
+}
+
+func TestFigure2Band(t *testing.T) {
+	// The RS anchors of Figure 2 span roughly 2 to 14 nines, increasing
+	// with m. Our calibration must land in that band.
+	prm := DefaultParams()
+	lo := Nines(RSChain(2, 1, prm).Reliability(1))
+	hi := Nines(RSChain(7, 5, prm).Reliability(1))
+	if lo < 1.5 || lo > 5 {
+		t.Fatalf("RS(2,1) = %.2f nines, want 2-4ish", lo)
+	}
+	if hi < 9 {
+		t.Fatalf("RS(7,5) = %.2f nines, want >= 9", hi)
+	}
+	if hi <= lo {
+		t.Fatal("nines not increasing with parity")
+	}
+}
+
+func TestStretchingKeepsReliability(t *testing.T) {
+	// Figure 2's main claim: stretching maintains approximately the
+	// same reliability level — here, within one "nine" of the parent
+	// code, for every family we can build on up to 8 data nodes.
+	prm := DefaultParams()
+	for k := 2; k <= 4; k++ {
+		for m := 1; m < k; m++ {
+			base := Nines(SRSChain(srs.MustLayout(k, m, k), prm).Reliability(1))
+			for s := k + 1; s <= 7; s++ {
+				n := Nines(SRSChain(srs.MustLayout(k, m, s), prm).Reliability(1))
+				if math.Abs(n-base) > 1.5 {
+					t.Fatalf("SRS(%d,%d,%d) = %.2f nines vs RS anchor %.2f: stretching changed reliability too much", k, m, s, n, base)
+				}
+			}
+		}
+	}
+}
+
+func TestSRSEqualsRSWhenNotStretched(t *testing.T) {
+	// SRS(k,m,k) is RS(k,m); the two model builders must agree.
+	prm := DefaultParams()
+	for _, c := range []struct{ k, m int }{{2, 1}, {3, 2}, {4, 2}} {
+		rs := RSChain(c.k, c.m, prm).Reliability(1)
+		ss := SRSChain(srs.MustLayout(c.k, c.m, c.k), prm).Reliability(1)
+		if math.Abs(Nines(rs)-Nines(ss)) > 0.3 {
+			t.Fatalf("RS(%d,%d) %v nines vs SRS anchor %v nines", c.k, c.m, Nines(rs), Nines(ss))
+		}
+	}
+}
+
+func TestAvailabilityBand(t *testing.T) {
+	// Figure 16's qualitative claims: every scheme's interval
+	// availability stays in a narrow low-nines band, and codes with
+	// more nodes in the stripe are less available — SRS(2,1,s) is the
+	// best family.
+	prm := DefaultParams()
+	mu := prm.Mu()
+	avail := func(k, m, s int) float64 {
+		return Nines(SRSChain(srs.MustLayout(k, m, s), prm).Repairable(mu).IntervalAvailability(1))
+	}
+	a21 := avail(2, 1, 3)
+	a54 := avail(5, 4, 5)
+	if a21 < 1.5 || a21 > 6 {
+		t.Fatalf("SRS(2,1,3) availability %.2f nines outside band", a21)
+	}
+	if a54 >= a21 {
+		t.Fatalf("bigger stripe should be less available: SRS(5,4) %.2f vs SRS(2,1) %.2f", a54, a21)
+	}
+	// Stretching changes availability only mildly.
+	if d := math.Abs(avail(2, 1, 3) - avail(2, 1, 6)); d > 1 {
+		t.Fatalf("stretching moved availability by %.2f nines", d)
+	}
+}
+
+func TestNines(t *testing.T) {
+	if Nines(0.99) < 1.99 || Nines(0.99) > 2.01 {
+		t.Fatalf("Nines(0.99) = %v", Nines(0.99))
+	}
+	if Nines(1) != 16 {
+		t.Fatal("Nines(1) must cap at 16")
+	}
+	if Nines(0) != 0 {
+		t.Fatal("Nines(0) must be 0")
+	}
+}
+
+func TestIntervalAvailability(t *testing.T) {
+	prm := DefaultParams()
+	c := RSChain(3, 2, prm)
+	av := c.IntervalAvailability(1)
+	r := c.Reliability(1)
+	if av <= 0 || av >= 1 {
+		t.Fatalf("availability %v out of range", av)
+	}
+	// Availability (time in fully-recovered state) is below
+	// reliability (no data loss).
+	if av >= r {
+		t.Fatalf("availability %v should be below reliability %v", av, r)
+	}
+	// And far above the no-repair bound.
+	if Nines(av) < 2 || Nines(av) > 6 {
+		t.Fatalf("availability %.3f nines outside plausible band", Nines(av))
+	}
+}
+
+func TestMuFromParams(t *testing.T) {
+	p := Params{Lambda: 1, DataBytes: 5e9, NetBytesPerSec: 5e9, CompSecPerByte: 0}
+	// T_reconst = 1s -> mu = one per second in yearly units.
+	if math.Abs(p.Mu()-secondsPerYear) > 1 {
+		t.Fatalf("Mu = %v", p.Mu())
+	}
+}
+
+func TestRepairableConservation(t *testing.T) {
+	prm := DefaultParams()
+	c := RSChain(3, 2, prm).Repairable(prm.Mu())
+	for _, tm := range []float64{0.01, 0.5, 1} {
+		p := c.Transient(tm)
+		sum := 0.0
+		for _, v := range p {
+			if v < -1e-12 {
+				t.Fatalf("negative probability at t=%v", tm)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("repairable chain leaks probability: %v", sum)
+		}
+	}
+	// Repairing the fail state must not change the original chain.
+	orig := RSChain(3, 2, prm)
+	if orig.Q[orig.Absorbing][0] != 0 {
+		t.Fatal("Repairable mutated the source chain")
+	}
+}
+
+func TestRepairableImprovesAvailability(t *testing.T) {
+	prm := DefaultParams()
+	base := RSChain(2, 1, prm)
+	a0 := base.IntervalAvailability(1)
+	a1 := base.Repairable(prm.Mu()).IntervalAvailability(1)
+	if a1 <= a0 {
+		t.Fatalf("repairable availability %v should exceed absorbing %v", a1, a0)
+	}
+}
+
+func TestLambdaSensitivity(t *testing.T) {
+	// Halving the failure rate must increase reliability.
+	lo := DefaultParams()
+	hi := lo
+	hi.Lambda = lo.Lambda / 2
+	rLo := RSChain(3, 2, lo).Reliability(1)
+	rHi := RSChain(3, 2, hi).Reliability(1)
+	if rHi <= rLo {
+		t.Fatalf("lower lambda should raise reliability: %v vs %v", rHi, rLo)
+	}
+	// Faster rebuild (bigger mu) must too.
+	fast := lo
+	fast.NetBytesPerSec = lo.NetBytesPerSec * 4
+	fast.CompSecPerByte = lo.CompSecPerByte / 4
+	rFast := RSChain(3, 2, fast).Reliability(1)
+	if rFast <= rLo {
+		t.Fatalf("faster rebuild should raise reliability: %v vs %v", rFast, rLo)
+	}
+}

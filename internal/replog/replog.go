@@ -1,0 +1,162 @@
+// Package replog implements the coordinator-side machinery of a
+// memgest's replicated log: sequence allocation, per-entry ack
+// tracking against a required quorum, and a bounded ordered log of
+// recent entries kept for redundancy-node catch-up.
+//
+// Every memgest has one log per shard (Section 5.2: "Each memgest has
+// a special replicated log to propagate updates generated from client
+// requests within itself"). Entries commit independently — the paper
+// explicitly allows higher versions to commit before lower ones — so
+// the tracker has no prefix-commit constraint.
+package replog
+
+import (
+	"fmt"
+	"sort"
+
+	"ring/internal/proto"
+)
+
+// Tracker allocates sequence numbers and counts acknowledgements until
+// each entry reaches its required quorum.
+type Tracker struct {
+	next    proto.Seq
+	pending map[proto.Seq]*entry
+}
+
+type entry struct {
+	need int
+	acks map[proto.NodeID]bool
+}
+
+// NewTracker creates a tracker whose first sequence is 1.
+func NewTracker() *Tracker {
+	return &Tracker{next: 1, pending: make(map[proto.Seq]*entry)}
+}
+
+// Next allocates the next sequence number.
+func (t *Tracker) Next() proto.Seq {
+	s := t.next
+	t.next++
+	return s
+}
+
+// Open registers an in-flight entry requiring `need` remote acks.
+// need == 0 entries are trivially complete and are not registered.
+func (t *Tracker) Open(seq proto.Seq, need int) {
+	if need < 0 {
+		panic(fmt.Sprintf("replog: negative ack requirement %d", need))
+	}
+	if need == 0 {
+		return
+	}
+	if _, ok := t.pending[seq]; ok {
+		panic(fmt.Sprintf("replog: seq %d opened twice", seq))
+	}
+	t.pending[seq] = &entry{need: need, acks: make(map[proto.NodeID]bool)}
+}
+
+// Ack records an acknowledgement from a node. It returns true exactly
+// once: when the entry reaches its quorum. Duplicate acks from the
+// same node and acks for unknown (already complete or never opened)
+// sequences are ignored.
+func (t *Tracker) Ack(seq proto.Seq, from proto.NodeID) bool {
+	e, ok := t.pending[seq]
+	if !ok {
+		return false
+	}
+	if e.acks[from] {
+		return false
+	}
+	e.acks[from] = true
+	if len(e.acks) >= e.need {
+		delete(t.pending, seq)
+		return true
+	}
+	return false
+}
+
+// Pending returns the number of in-flight entries.
+func (t *Tracker) Pending() int { return len(t.pending) }
+
+// Cancel drops an in-flight entry (e.g. the memgest was deleted).
+func (t *Tracker) Cancel(seq proto.Seq) { delete(t.pending, seq) }
+
+// PendingSeqs returns the in-flight sequences in ascending order.
+func (t *Tracker) PendingSeqs() []proto.Seq {
+	out := make([]proto.Seq, 0, len(t.pending))
+	for s := range t.pending {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Record is one retained log entry: the marshaled replication message
+// that produced it, so it can be re-sent verbatim to a node catching
+// up.
+type Record struct {
+	Seq     proto.Seq
+	Payload []byte
+}
+
+// Log is a bounded in-order record of recent replication messages.
+// When the bound is exceeded the oldest entries are discarded; nodes
+// that have fallen behind the log's base must take a full state
+// transfer (MetaFetch) instead of a log replay.
+type Log struct {
+	max  int
+	base proto.Seq // sequence of recs[0]
+	recs []Record
+}
+
+// NewLog creates a log retaining at most max entries (max <= 0 selects
+// a default of 4096).
+func NewLog(max int) *Log {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Log{max: max, base: 1}
+}
+
+// Append stores a record; sequences must be appended in strictly
+// increasing order.
+func (l *Log) Append(seq proto.Seq, payload []byte) {
+	if n := len(l.recs); n > 0 && seq <= l.recs[n-1].Seq {
+		panic(fmt.Sprintf("replog: append of seq %d after %d", seq, l.recs[n-1].Seq))
+	}
+	l.recs = append(l.recs, Record{Seq: seq, Payload: payload})
+	if len(l.recs) > l.max {
+		drop := len(l.recs) - l.max
+		l.base = l.recs[drop].Seq
+		l.recs = append([]Record(nil), l.recs[drop:]...)
+	}
+}
+
+// Since returns all records with sequence > seq, or ok=false when the
+// log has been truncated past seq (full state transfer required).
+func (l *Log) Since(seq proto.Seq) (recs []Record, ok bool) {
+	if len(l.recs) == 0 {
+		return nil, true
+	}
+	if seq+1 < l.base {
+		return nil, false
+	}
+	i := sort.Search(len(l.recs), func(i int) bool { return l.recs[i].Seq > seq })
+	return append([]Record(nil), l.recs[i:]...), true
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int { return len(l.recs) }
+
+// Base returns the oldest retained sequence (or the next sequence when
+// empty).
+func (l *Log) Base() proto.Seq { return l.base }
+
+// LastSeq returns the newest retained sequence, or 0 when empty.
+func (l *Log) LastSeq() proto.Seq {
+	if len(l.recs) == 0 {
+		return 0
+	}
+	return l.recs[len(l.recs)-1].Seq
+}

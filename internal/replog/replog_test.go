@@ -1,0 +1,153 @@
+package replog
+
+import (
+	"testing"
+
+	"ring/internal/proto"
+)
+
+func TestTrackerSequences(t *testing.T) {
+	tr := NewTracker()
+	if tr.Next() != 1 || tr.Next() != 2 || tr.Next() != 3 {
+		t.Fatal("sequences must start at 1 and increment")
+	}
+}
+
+func TestTrackerQuorum(t *testing.T) {
+	tr := NewTracker()
+	tr.Open(1, 2)
+	if tr.Pending() != 1 {
+		t.Fatal("pending != 1")
+	}
+	if tr.Ack(1, 10) {
+		t.Fatal("quorum reached with 1 of 2 acks")
+	}
+	if tr.Ack(1, 10) {
+		t.Fatal("duplicate ack counted")
+	}
+	if !tr.Ack(1, 11) {
+		t.Fatal("quorum not reached with 2 of 2 acks")
+	}
+	if tr.Ack(1, 12) {
+		t.Fatal("ack after completion returned true")
+	}
+	if tr.Pending() != 0 {
+		t.Fatal("entry not cleaned up")
+	}
+}
+
+func TestTrackerZeroNeed(t *testing.T) {
+	tr := NewTracker()
+	tr.Open(5, 0) // no-op: immediately complete
+	if tr.Pending() != 0 {
+		t.Fatal("zero-need entry registered")
+	}
+	if tr.Ack(5, 1) {
+		t.Fatal("ack on unregistered seq")
+	}
+}
+
+func TestTrackerDoubleOpenPanics(t *testing.T) {
+	tr := NewTracker()
+	tr.Open(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double open did not panic")
+		}
+	}()
+	tr.Open(1, 1)
+}
+
+func TestTrackerCancelAndPendingSeqs(t *testing.T) {
+	tr := NewTracker()
+	tr.Open(3, 1)
+	tr.Open(1, 1)
+	tr.Open(2, 1)
+	seqs := tr.PendingSeqs()
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[2] != 3 {
+		t.Fatalf("PendingSeqs = %v", seqs)
+	}
+	tr.Cancel(2)
+	if tr.Pending() != 2 {
+		t.Fatal("cancel failed")
+	}
+	if tr.Ack(2, 1) {
+		t.Fatal("ack on cancelled entry")
+	}
+}
+
+func TestTrackerOutOfOrderCommits(t *testing.T) {
+	// Higher sequences may complete before lower ones (the paper's
+	// independent-commit property).
+	tr := NewTracker()
+	tr.Open(1, 2)
+	tr.Open(2, 1)
+	if !tr.Ack(2, 7) {
+		t.Fatal("seq 2 should commit first")
+	}
+	tr.Ack(1, 7)
+	if !tr.Ack(1, 8) {
+		t.Fatal("seq 1 should commit after")
+	}
+}
+
+func TestLogAppendSince(t *testing.T) {
+	l := NewLog(10)
+	for s := proto.Seq(1); s <= 5; s++ {
+		l.Append(s, []byte{byte(s)})
+	}
+	if l.Len() != 5 || l.Base() != 1 || l.LastSeq() != 5 {
+		t.Fatalf("len=%d base=%d last=%d", l.Len(), l.Base(), l.LastSeq())
+	}
+	recs, ok := l.Since(2)
+	if !ok || len(recs) != 3 || recs[0].Seq != 3 {
+		t.Fatalf("Since(2) = %v %v", recs, ok)
+	}
+	recs, ok = l.Since(5)
+	if !ok || len(recs) != 0 {
+		t.Fatalf("Since(5) = %v %v", recs, ok)
+	}
+	recs, ok = l.Since(0)
+	if !ok || len(recs) != 5 {
+		t.Fatalf("Since(0) = %v %v", recs, ok)
+	}
+}
+
+func TestLogTruncation(t *testing.T) {
+	l := NewLog(3)
+	for s := proto.Seq(1); s <= 10; s++ {
+		l.Append(s, nil)
+	}
+	if l.Len() != 3 || l.Base() != 8 {
+		t.Fatalf("len=%d base=%d", l.Len(), l.Base())
+	}
+	if _, ok := l.Since(5); ok {
+		t.Fatal("Since below base must report truncation")
+	}
+	recs, ok := l.Since(7)
+	if !ok || len(recs) != 3 {
+		t.Fatalf("Since(7) = %v %v", recs, ok)
+	}
+}
+
+func TestLogEmptySince(t *testing.T) {
+	l := NewLog(0)
+	recs, ok := l.Since(0)
+	if !ok || len(recs) != 0 {
+		t.Fatal("empty log Since failed")
+	}
+	if l.LastSeq() != 0 {
+		t.Fatal("empty LastSeq != 0")
+	}
+}
+
+func TestLogOutOfOrderAppendPanics(t *testing.T) {
+	l := NewLog(0)
+	l.Append(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order append did not panic")
+		}
+	}()
+	l.Append(2, nil)
+}

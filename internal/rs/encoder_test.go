@@ -1,0 +1,349 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ring/internal/gf"
+)
+
+func mustEncoder(t testing.TB, k, m int) *Encoder {
+	t.Helper()
+	e, err := NewEncoder(k, m)
+	if err != nil {
+		t.Fatalf("NewEncoder(%d,%d): %v", k, m, err)
+	}
+	return e
+}
+
+func randShards(rng *rand.Rand, n, size int) [][]byte {
+	s := make([][]byte, n)
+	for i := range s {
+		s[i] = make([]byte, size)
+		rng.Read(s[i])
+	}
+	return s
+}
+
+func TestNewEncoderValidation(t *testing.T) {
+	for _, c := range []struct{ k, m int }{{0, 1}, {-1, 2}, {3, -1}, {200, 100}} {
+		if _, err := NewEncoder(c.k, c.m); err == nil {
+			t.Errorf("NewEncoder(%d,%d) should fail", c.k, c.m)
+		}
+	}
+	if _, err := NewEncoder(1, 0); err != nil {
+		t.Errorf("NewEncoder(1,0): %v", err)
+	}
+	if _, err := NewEncoder(128, 128); err != nil {
+		t.Errorf("NewEncoder(128,128): %v", err)
+	}
+}
+
+func TestCodingMatrixSystematic(t *testing.T) {
+	for _, c := range []struct{ k, m int }{{2, 1}, {3, 1}, {3, 2}, {5, 4}, {7, 5}} {
+		e := mustEncoder(t, c.k, c.m)
+		h := e.CodingMatrix()
+		top := h.SubMatrix(0, c.k, 0, c.k)
+		if !top.Equal(Identity(c.k)) {
+			t.Fatalf("RS(%d,%d): top of H is not identity:\n%v", c.k, c.m, top)
+		}
+	}
+}
+
+func TestCodingMatrixMDS(t *testing.T) {
+	// Any k rows of H must be linearly independent: exhaustively check
+	// all k-subsets for small codes.
+	for _, c := range []struct{ k, m int }{{2, 1}, {2, 2}, {3, 2}, {3, 3}, {4, 3}} {
+		e := mustEncoder(t, c.k, c.m)
+		n := c.k + c.m
+		idx := make([]int, c.k)
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if depth == c.k {
+				sub := e.h.PickRows(idx)
+				if sub.Rank() != c.k {
+					t.Fatalf("RS(%d,%d): rows %v dependent", c.k, c.m, idx)
+				}
+				return
+			}
+			for i := start; i < n; i++ {
+				idx[depth] = i
+				rec(i+1, depth+1)
+			}
+		}
+		rec(0, 0)
+	}
+}
+
+func TestEncodeXorParityForM1(t *testing.T) {
+	// With one parity shard the generator row must be all ones
+	// (pure XOR), matching Eqn. (4) of the paper: P = D1 ^ D2 ^ ...
+	for k := 2; k <= 6; k++ {
+		e := mustEncoder(t, k, 1)
+		row := e.GeneratorRow(0)
+		for i, v := range row {
+			if v != 1 {
+				t.Fatalf("RS(%d,1) generator row[%d] = %d, want 1", k, i, v)
+			}
+		}
+	}
+	e := mustEncoder(t, 2, 1)
+	data := [][]byte{{0xa0, 0x01}, {0x0b, 0x10}}
+	parity, err := e.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xab, 0x11}
+	if !bytes.Equal(parity[0], want) {
+		t.Fatalf("XOR parity = %x, want %x", parity[0], want)
+	}
+}
+
+func TestEncodeVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ k, m int }{{2, 1}, {3, 2}, {4, 2}, {6, 3}} {
+		e := mustEncoder(t, c.k, c.m)
+		data := randShards(rng, c.k, 512)
+		parity, err := e.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := append(append([][]byte{}, data...), parity...)
+		ok, err := e.Verify(all)
+		if err != nil || !ok {
+			t.Fatalf("RS(%d,%d) Verify = %v, %v", c.k, c.m, ok, err)
+		}
+		// Corrupt one byte; Verify must fail.
+		all[0][3] ^= 0xff
+		ok, err = e.Verify(all)
+		if err != nil || ok {
+			t.Fatalf("RS(%d,%d) Verify after corruption = %v, %v", c.k, c.m, ok, err)
+		}
+	}
+}
+
+func TestEncodeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := mustEncoder(t, 3, 2)
+	data := randShards(rng, 3, 256)
+	want, err := e.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parity := randShards(rng, 2, 256) // dirty buffers must be zeroed
+	if err := e.EncodeInto(data, parity); err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if !bytes.Equal(parity[j], want[j]) {
+			t.Fatalf("EncodeInto parity %d mismatch", j)
+		}
+	}
+	if err := e.EncodeInto(data, randShards(rng, 2, 100)); err != ErrShardSize {
+		t.Fatalf("size mismatch: got %v", err)
+	}
+}
+
+func TestReconstructAllErasurePatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, c := range []struct{ k, m int }{{2, 1}, {3, 2}, {4, 3}} {
+		e := mustEncoder(t, c.k, c.m)
+		data := randShards(rng, c.k, 128)
+		parity, err := e.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := append(append([][]byte{}, data...), parity...)
+		n := c.k + c.m
+		// Enumerate every erasure pattern of size <= m.
+		for mask := 0; mask < 1<<n; mask++ {
+			erased := 0
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					erased++
+				}
+			}
+			if erased == 0 || erased > c.m {
+				continue
+			}
+			shards := make([][]byte, n)
+			for i := range shards {
+				if mask&(1<<i) == 0 {
+					shards[i] = append([]byte(nil), orig[i]...)
+				}
+			}
+			if err := e.Reconstruct(shards); err != nil {
+				t.Fatalf("RS(%d,%d) mask %b: %v", c.k, c.m, mask, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("RS(%d,%d) mask %b shard %d wrong", c.k, c.m, mask, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFew(t *testing.T) {
+	e := mustEncoder(t, 3, 2)
+	shards := make([][]byte, 5)
+	shards[0] = make([]byte, 8)
+	shards[1] = make([]byte, 8)
+	if err := e.Reconstruct(shards); err == nil {
+		t.Fatal("expected failure with 2 of 5 shards")
+	}
+}
+
+func TestReconstructShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e := mustEncoder(t, 3, 2)
+	data := randShards(rng, 3, 64)
+	parity, _ := e.Encode(data)
+	// Recover data shard 1 from data0, parity0, parity1.
+	got, err := e.ReconstructShard(1, map[int][]byte{0: data[0], 3: parity[0], 4: parity[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data[1]) {
+		t.Fatal("ReconstructShard returned wrong data")
+	}
+	// Too few survivors.
+	if _, err := e.ReconstructShard(1, map[int][]byte{0: data[0]}); err == nil {
+		t.Fatal("expected too-few error")
+	}
+}
+
+func TestParityDeltaMatchesReencode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []struct{ k, m int }{{2, 1}, {3, 2}, {5, 3}} {
+		e := mustEncoder(t, c.k, c.m)
+		data := randShards(rng, c.k, 200)
+		parity, _ := e.Encode(data)
+		// Mutate shard idx and apply delta updates.
+		for idx := 0; idx < c.k; idx++ {
+			newShard := make([]byte, 200)
+			rng.Read(newShard)
+			delta := make([]byte, 200)
+			copy(delta, data[idx])
+			gf.XorSlice(newShard, delta) // delta = old ^ new
+			pd := e.ParityDelta(idx, delta)
+
+			updated := make([][]byte, c.m)
+			for j := range parity {
+				updated[j] = append([]byte(nil), parity[j]...)
+				gf.XorSlice(pd[j], updated[j])
+			}
+
+			// Ground truth: re-encode with the new shard.
+			newData := make([][]byte, c.k)
+			copy(newData, data)
+			newData[idx] = newShard
+			want, _ := e.Encode(newData)
+			for j := range want {
+				if !bytes.Equal(updated[j], want[j]) {
+					t.Fatalf("RS(%d,%d) delta update of shard %d parity %d mismatch", c.k, c.m, idx, j)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitJoin(t *testing.T) {
+	e := mustEncoder(t, 3, 2)
+	for _, n := range []int{0, 1, 2, 3, 10, 100, 101} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		shards := e.Split(data)
+		if len(shards) != 3 {
+			t.Fatalf("Split returned %d shards", len(shards))
+		}
+		got, err := e.Join(shards, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: round trip failed", n)
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	e := mustEncoder(t, 3, 2)
+	if _, err := e.Encode(make([][]byte, 2)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	if _, err := e.Encode([][]byte{make([]byte, 4), make([]byte, 4), make([]byte, 5)}); err != ErrShardSize {
+		t.Fatalf("uneven sizes: got %v", err)
+	}
+	if _, err := e.Encode([][]byte{make([]byte, 4), nil, make([]byte, 4)}); err == nil {
+		t.Fatal("nil data shard accepted")
+	}
+}
+
+// Property: for random data, erasing any m random shards and
+// reconstructing always restores the original (quick-checked).
+func TestReconstructProperty(t *testing.T) {
+	e := mustEncoder(t, 4, 2)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		data := randShards(rng, 4, 96)
+		parity, _ := e.Encode(data)
+		orig := append(append([][]byte{}, data...), parity...)
+		shards := make([][]byte, 6)
+		for i := range shards {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		// Erase two distinct random shards.
+		a := rng.Intn(6)
+		b := rng.Intn(6)
+		for b == a {
+			b = rng.Intn(6)
+		}
+		shards[a], shards[b] = nil, nil
+		if err := e.Reconstruct(shards); err != nil {
+			return false
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], orig[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncodeRS32_1KiB(b *testing.B) {
+	e := mustEncoder(b, 3, 2)
+	rng := rand.New(rand.NewSource(1))
+	data := randShards(rng, 3, 1024)
+	parity := randShards(rng, 2, 1024)
+	b.SetBytes(3 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.EncodeInto(data, parity); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructRS32_1KiB(b *testing.B) {
+	e := mustEncoder(b, 3, 2)
+	rng := rand.New(rand.NewSource(2))
+	data := randShards(rng, 3, 1024)
+	parity, _ := e.Encode(data)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := [][]byte{nil, data[1], data[2], parity[0], nil}
+		if err := e.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package rs implements systematic Reed-Solomon erasure coding over
+// GF(2^8), the RS(k,m) building block that Stretched Reed-Solomon
+// (package srs) expands.
+//
+// The encoding matrix is H = [I; G] of shape (k+m) x k (Eqn. (1) of
+// the paper): the identity rows pass the k data blocks through and
+// the generator rows G produce the m parity blocks. G is derived from
+// a Vandermonde matrix and normalized so that any k rows of H are
+// linearly independent, giving the MDS property: the data survives
+// any m simultaneous block losses.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"ring/internal/gf"
+)
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix [][]byte
+
+// NewMatrix allocates a zero rows x cols matrix.
+func NewMatrix(rows, cols int) Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rs: invalid matrix shape %dx%d", rows, cols))
+	}
+	backing := make([]byte, rows*cols)
+	m := make(Matrix, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// Vandermonde returns the rows x cols matrix with entries a_ij = i^j
+// (row index raised to column index), the classical construction whose
+// square submatrices built from distinct rows are invertible.
+func Vandermonde(rows, cols int) Matrix {
+	m := NewMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m[r][c] = gf.Pow(byte(r), c)
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m Matrix) Rows() int { return len(m) }
+
+// Cols returns the number of columns.
+func (m Matrix) Cols() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Clone returns a deep copy of m.
+func (m Matrix) Clone() Matrix {
+	out := NewMatrix(m.Rows(), m.Cols())
+	for i, row := range m {
+		copy(out[i], row)
+	}
+	return out
+}
+
+// Mul returns the matrix product m x other.
+func (m Matrix) Mul(other Matrix) Matrix {
+	if m.Cols() != other.Rows() {
+		panic(fmt.Sprintf("rs: shape mismatch %dx%d * %dx%d", m.Rows(), m.Cols(), other.Rows(), other.Cols()))
+	}
+	out := NewMatrix(m.Rows(), other.Cols())
+	for r := 0; r < m.Rows(); r++ {
+		for c := 0; c < other.Cols(); c++ {
+			var acc byte
+			for k := 0; k < m.Cols(); k++ {
+				acc ^= gf.Mul(m[r][k], other[k][c])
+			}
+			out[r][c] = acc
+		}
+	}
+	return out
+}
+
+// SubMatrix returns the matrix slice [r0,r1) x [c0,c1) as a copy.
+func (m Matrix) SubMatrix(r0, r1, c0, c1 int) Matrix {
+	out := NewMatrix(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out[r-r0], m[r][c0:c1])
+	}
+	return out
+}
+
+// PickRows returns a copy of the given rows, in order.
+func (m Matrix) PickRows(rows []int) Matrix {
+	out := NewMatrix(len(rows), m.Cols())
+	for i, r := range rows {
+		copy(out[i], m[r])
+	}
+	return out
+}
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("rs: matrix is singular")
+
+// Invert returns the inverse of the square matrix m via Gauss-Jordan
+// elimination on the augmented matrix [m | I].
+func (m Matrix) Invert() (Matrix, error) {
+	n := m.Rows()
+	if n != m.Cols() {
+		panic(fmt.Sprintf("rs: cannot invert non-square %dx%d matrix", m.Rows(), m.Cols()))
+	}
+	work := NewMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], m[i])
+		work[i][n+i] = 1
+	}
+	if err := work.gaussJordan(n); err != nil {
+		return nil, err
+	}
+	return work.SubMatrix(0, n, n, 2*n), nil
+}
+
+// gaussJordan reduces the left n columns of the augmented matrix to
+// the identity, applying the same operations to the remaining columns.
+func (m Matrix) gaussJordan(n int) error {
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if m[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		// Scale the pivot row to make the pivot 1.
+		if p := m[col][col]; p != 1 {
+			inv := gf.Inv(p)
+			for c := range m[col] {
+				m[col][c] = gf.Mul(m[col][c], inv)
+			}
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col || m[r][col] == 0 {
+				continue
+			}
+			f := m[r][col]
+			gf.MulSliceXor(f, m[col], m[r])
+		}
+	}
+	return nil
+}
+
+// Rank returns the rank of m over GF(2^8).
+func (m Matrix) Rank() int {
+	work := m.Clone()
+	rows, cols := work.Rows(), work.Cols()
+	rank := 0
+	for col := 0; col < cols && rank < rows; col++ {
+		pivot := -1
+		for r := rank; r < rows; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rank], work[pivot] = work[pivot], work[rank]
+		inv := gf.Inv(work[rank][col])
+		for c := col; c < cols; c++ {
+			work[rank][c] = gf.Mul(work[rank][c], inv)
+		}
+		for r := 0; r < rows; r++ {
+			if r == rank || work[r][col] == 0 {
+				continue
+			}
+			gf.MulSliceXor(work[r][col], work[rank], work[r])
+		}
+		rank++
+	}
+	return rank
+}
+
+// Equal reports whether two matrices have identical shape and entries.
+func (m Matrix) Equal(other Matrix) bool {
+	if m.Rows() != other.Rows() || m.Cols() != other.Cols() {
+		return false
+	}
+	for i, row := range m {
+		for j, v := range row {
+			if other[i][j] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String formats the matrix for debugging.
+func (m Matrix) String() string {
+	s := ""
+	for _, row := range m {
+		s += fmt.Sprintf("%3d\n", row)
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package rs
+
+import (
+	"math/rand"
+	"testing"
+
+	"ring/internal/gf"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if id[i][j] != want {
+				t.Fatalf("Identity[%d][%d] = %d", i, j, id[i][j])
+			}
+		}
+	}
+}
+
+func TestVandermondeEntries(t *testing.T) {
+	v := Vandermonde(4, 3)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 3; c++ {
+			if v[r][c] != gf.Pow(byte(r), c) {
+				t.Fatalf("V[%d][%d] = %d, want %d", r, c, v[r][c], gf.Pow(byte(r), c))
+			}
+		}
+	}
+}
+
+func TestMulByIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(5, 5)
+	for i := range m {
+		rng.Read(m[i])
+	}
+	if !m.Mul(Identity(5)).Equal(m) {
+		t.Fatal("m * I != m")
+	}
+	if !Identity(5).Mul(m).Equal(m) {
+		t.Fatal("I * m != m")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for n := 1; n <= 8; n++ {
+		// Retry until we draw an invertible matrix (overwhelmingly likely).
+		for tries := 0; ; tries++ {
+			m := NewMatrix(n, n)
+			for i := range m {
+				rng.Read(m[i])
+			}
+			inv, err := m.Invert()
+			if err != nil {
+				if tries > 20 {
+					t.Fatalf("n=%d: no invertible matrix found", n)
+				}
+				continue
+			}
+			if !m.Mul(inv).Equal(Identity(n)) {
+				t.Fatalf("n=%d: m * m^-1 != I", n)
+			}
+			if !inv.Mul(m).Equal(Identity(n)) {
+				t.Fatalf("n=%d: m^-1 * m != I", n)
+			}
+			break
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	m[0][0], m[0][1], m[0][2] = 1, 2, 3
+	copy(m[1], m[0]) // duplicate row -> singular
+	m[2][0], m[2][1], m[2][2] = 4, 5, 6
+	if _, err := m.Invert(); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestRank(t *testing.T) {
+	if got := Identity(4).Rank(); got != 4 {
+		t.Fatalf("rank(I4) = %d", got)
+	}
+	m := NewMatrix(3, 4)
+	m[0] = []byte{1, 0, 0, 0}
+	m[1] = []byte{0, 1, 0, 0}
+	m[2] = []byte{1, 1, 0, 0} // row0 + row1
+	if got := m.Rank(); got != 2 {
+		t.Fatalf("rank = %d, want 2", got)
+	}
+	z := NewMatrix(2, 2)
+	if got := z.Rank(); got != 0 {
+		t.Fatalf("rank(zero) = %d", got)
+	}
+}
+
+func TestVandermondeSquareInvertible(t *testing.T) {
+	// Square Vandermonde with distinct points must be invertible.
+	for n := 1; n <= 10; n++ {
+		v := Vandermonde(n, n)
+		if _, err := v.Invert(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSubMatrixAndPickRows(t *testing.T) {
+	m := NewMatrix(3, 3)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = byte(10*i + j)
+		}
+	}
+	s := m.SubMatrix(1, 3, 0, 2)
+	if s.Rows() != 2 || s.Cols() != 2 || s[0][0] != 10 || s[1][1] != 21 {
+		t.Fatalf("SubMatrix wrong: %v", s)
+	}
+	p := m.PickRows([]int{2, 0})
+	if p[0][0] != 20 || p[1][0] != 0 {
+		t.Fatalf("PickRows wrong: %v", p)
+	}
+	// Mutating the copy must not affect the original.
+	s[0][0] = 99
+	if m[1][0] == 99 {
+		t.Fatal("SubMatrix aliases original")
+	}
+}
+
+func TestMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 2))
+}

@@ -1,0 +1,486 @@
+package srs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ring/internal/gf"
+	"ring/internal/rs"
+)
+
+func TestNewLayoutValidation(t *testing.T) {
+	for _, c := range []struct{ k, m, s int }{{0, 1, 3}, {3, -1, 3}, {3, 1, 2}, {300, 1, 300}} {
+		if _, err := NewLayout(c.k, c.m, c.s); err == nil {
+			t.Errorf("NewLayout(%d,%d,%d) should fail", c.k, c.m, c.s)
+		}
+	}
+	l := MustLayout(2, 1, 3)
+	if l.L != 6 {
+		t.Fatalf("lcm(2,3) = %d, want 6", l.L)
+	}
+	if l.String() != "SRS(2,1,3)" {
+		t.Fatalf("String = %q", l.String())
+	}
+}
+
+func TestGeometrySRS213(t *testing.T) {
+	// The paper's worked example: l=6, 2 blocks per data node,
+	// 3 parity blocks on the parity node, stripes t=0,1,2 with
+	// P[t] = D[t] ^ D[t+3] (Eqn. (4), 0-based).
+	l := MustLayout(2, 1, 3)
+	if l.BlocksPerDataNode() != 2 || l.BlocksPerParityNode() != 3 || l.Stripes() != 3 {
+		t.Fatalf("geometry: %d %d %d", l.BlocksPerDataNode(), l.BlocksPerParityNode(), l.Stripes())
+	}
+	wantNode := []int{0, 0, 1, 1, 2, 2}
+	wantPos := []int{0, 0, 0, 1, 1, 1}
+	wantOff := []int{0, 1, 2, 0, 1, 2}
+	for b := 0; b < 6; b++ {
+		if l.DataNodeOf(b) != wantNode[b] {
+			t.Errorf("DataNodeOf(%d) = %d, want %d", b, l.DataNodeOf(b), wantNode[b])
+		}
+		if l.StripePos(b) != wantPos[b] {
+			t.Errorf("StripePos(%d) = %d, want %d", b, l.StripePos(b), wantPos[b])
+		}
+		if l.StripeOffset(b) != wantOff[b] {
+			t.Errorf("StripeOffset(%d) = %d, want %d", b, l.StripeOffset(b), wantOff[b])
+		}
+		if l.BlockAt(l.StripePos(b), l.StripeOffset(b)) != b {
+			t.Errorf("BlockAt inverse failed for %d", b)
+		}
+	}
+	lo, hi := l.NodeBlocks(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("NodeBlocks(1) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestSRSkmkIsRS(t *testing.T) {
+	// SRS(k,m,k) must be identical to RS(k,m): one block per stripe
+	// position per ... l == k, one block per node.
+	l := MustLayout(3, 2, 3)
+	if l.L != 3 || l.BlocksPerDataNode() != 1 || l.Stripes() != 1 {
+		t.Fatalf("SRS(3,2,3) geometry wrong: l=%d", l.L)
+	}
+	for b := 0; b < 3; b++ {
+		if l.DataNodeOf(b) != b || l.StripePos(b) != b || l.StripeOffset(b) != 0 {
+			t.Fatalf("block %d mapping wrong", b)
+		}
+	}
+}
+
+func TestEncodeStretchedMatchesEqn4(t *testing.T) {
+	// SRS(2,1,3): P[t] = D[t] ^ D[t+3] per Eqn. (4) (1-based in the
+	// paper; 0-based here).
+	l := MustLayout(2, 1, 3)
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, 6)
+	for i := range data {
+		data[i] = make([]byte, 32)
+		rng.Read(data[i])
+	}
+	parity, err := l.EncodeStretched(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 3; tt++ {
+		want := make([]byte, 32)
+		copy(want, data[tt])
+		gf.XorSlice(data[tt+3], want)
+		if !bytes.Equal(parity[0][tt], want) {
+			t.Fatalf("parity[0][%d] != D%d ^ D%d", tt, tt, tt+3)
+		}
+	}
+}
+
+func TestEncodeStretchedMatchesExpandedMatrix(t *testing.T) {
+	// Block-level encoding must equal the Hexp matrix-vector product of
+	// Eqn. (2) applied byte-column-wise.
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 3}, {3, 2, 3}, {2, 2, 4}, {3, 1, 5}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		rng := rand.New(rand.NewSource(int64(cfg.k*100 + cfg.s)))
+		const sz = 16
+		data := make([][]byte, l.L)
+		for i := range data {
+			data[i] = make([]byte, sz)
+			rng.Read(data[i])
+		}
+		parity, err := l.EncodeStretched(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hexp := l.ExpandedMatrix()
+		blk := l.Stripes()
+		for row := 0; row < hexp.Rows(); row++ {
+			want := make([]byte, sz)
+			for col := 0; col < l.L; col++ {
+				gf.MulSliceXor(hexp[row][col], data[col], want)
+			}
+			var got []byte
+			if row < l.L {
+				got = data[row]
+			} else {
+				p := row - l.L
+				got = parity[p/blk][p%blk]
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: Hexp row %d mismatch", l, row)
+			}
+		}
+	}
+}
+
+func TestExpandedMatrixShape(t *testing.T) {
+	l := MustLayout(2, 1, 3)
+	h := l.ExpandedMatrix()
+	if h.Rows() != 9 || h.Cols() != 6 {
+		t.Fatalf("Hexp shape %dx%d, want 9x6", h.Rows(), h.Cols())
+	}
+	// Eqn. (5): the top 6x6 must be the identity and the bottom rows
+	// XOR pairs (1 0 0 1 0 0 / 0 1 0 0 1 0 / 0 0 1 0 0 1).
+	if !h.SubMatrix(0, 6, 0, 6).Equal(rs.Identity(6)) {
+		t.Fatal("top of Hexp is not identity")
+	}
+	for tt := 0; tt < 3; tt++ {
+		row := h[6+tt]
+		for c := 0; c < 6; c++ {
+			want := byte(0)
+			if c == tt || c == tt+3 {
+				want = 1
+			}
+			if row[c] != want {
+				t.Fatalf("Hexp parity row %d col %d = %d, want %d", tt, c, row[c], want)
+			}
+		}
+	}
+}
+
+func TestParityDeltaConsistent(t *testing.T) {
+	// Applying ParityDelta after a block update must reproduce a full
+	// re-encode.
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 3}, {3, 2, 4}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		rng := rand.New(rand.NewSource(42))
+		const sz = 64
+		data := make([][]byte, l.L)
+		for i := range data {
+			data[i] = make([]byte, sz)
+			rng.Read(data[i])
+		}
+		parity, _ := l.EncodeStretched(data)
+		for b := 0; b < l.L; b++ {
+			newBlock := make([]byte, sz)
+			rng.Read(newBlock)
+			delta := make([]byte, sz)
+			copy(delta, data[b])
+			gf.XorSlice(newBlock, delta)
+
+			deltas := l.ParityDelta(b, delta)
+			tOff := l.StripeOffset(b)
+			upd := make([][][]byte, l.M)
+			for r := 0; r < l.M; r++ {
+				upd[r] = make([][]byte, l.Stripes())
+				for tt := 0; tt < l.Stripes(); tt++ {
+					upd[r][tt] = append([]byte(nil), parity[r][tt]...)
+				}
+				gf.XorSlice(deltas[r], upd[r][tOff])
+			}
+
+			newData := make([][]byte, l.L)
+			copy(newData, data)
+			newData[b] = newBlock
+			want, _ := l.EncodeStretched(newData)
+			for r := 0; r < l.M; r++ {
+				for tt := 0; tt < l.Stripes(); tt++ {
+					if !bytes.Equal(upd[r][tt], want[r][tt]) {
+						t.Fatalf("%s block %d: parity[%d][%d] mismatch", l, b, r, tt)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRecoverBlock(t *testing.T) {
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 3}, {3, 1, 3}, {3, 2, 3}, {2, 1, 4}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		rng := rand.New(rand.NewSource(int64(cfg.s)))
+		const sz = 48
+		data := make([][]byte, l.L)
+		for i := range data {
+			data[i] = make([]byte, sz)
+			rng.Read(data[i])
+		}
+		parity, _ := l.EncodeStretched(data)
+		survivorParity := make(map[ParityKey][]byte)
+		for r := 0; r < l.M; r++ {
+			for tt := 0; tt < l.Stripes(); tt++ {
+				survivorParity[ParityKey{r, tt}] = parity[r][tt]
+			}
+		}
+		for b := 0; b < l.L; b++ {
+			survivorData := make(map[int][]byte)
+			for i := range data {
+				if i != b {
+					survivorData[i] = data[i]
+				}
+			}
+			got, err := l.RecoverBlock(b, survivorData, survivorParity)
+			if err != nil {
+				t.Fatalf("%s block %d: %v", l, b, err)
+			}
+			if !bytes.Equal(got, data[b]) {
+				t.Fatalf("%s block %d: wrong recovery", l, b)
+			}
+		}
+	}
+}
+
+func TestRecoverBlockInsufficient(t *testing.T) {
+	l := MustLayout(3, 1, 3)
+	data := make([][]byte, 3)
+	for i := range data {
+		data[i] = make([]byte, 8)
+	}
+	// Only one survivor of stripe with k=3: must fail.
+	if _, err := l.RecoverBlock(0, map[int][]byte{1: data[1]}, nil); err == nil {
+		t.Fatal("expected failure with too few survivors")
+	}
+}
+
+func TestRecoverParityBlock(t *testing.T) {
+	l := MustLayout(2, 2, 4)
+	rng := rand.New(rand.NewSource(5))
+	data := make([][]byte, l.L)
+	for i := range data {
+		data[i] = make([]byte, 24)
+		rng.Read(data[i])
+	}
+	parity, _ := l.EncodeStretched(data)
+	all := make(map[int][]byte)
+	for i, d := range data {
+		all[i] = d
+	}
+	for r := 0; r < l.M; r++ {
+		for tt := 0; tt < l.Stripes(); tt++ {
+			got, err := l.RecoverParityBlock(r, tt, all)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, parity[r][tt]) {
+				t.Fatalf("parity (%d,%d) recovery wrong", r, tt)
+			}
+		}
+	}
+}
+
+func TestCanTolerateSRS214(t *testing.T) {
+	// The paper: SRS(2,1,4) tolerates two simultaneous failures when
+	// two independent data servers fail. Nodes 0..3 data, node 4 parity.
+	// Stripe t contains blocks {t, t+2} held by nodes {t, t+2}.
+	l := MustLayout(2, 1, 4)
+	cases := []struct {
+		failed []int
+		want   bool
+	}{
+		{[]int{}, true},
+		{[]int{0}, true},
+		{[]int{4}, true},
+		{[]int{0, 1}, true},  // different stripes
+		{[]int{0, 3}, true},  // different stripes
+		{[]int{0, 2}, false}, // same stripe
+		{[]int{1, 3}, false}, // same stripe
+		{[]int{0, 4}, false}, // data + the only parity
+		{[]int{0, 1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := l.CanTolerate(c.failed); got != c.want {
+			t.Errorf("CanTolerate(%v) = %v, want %v", c.failed, got, c.want)
+		}
+	}
+}
+
+func TestCanTolerateUpToM(t *testing.T) {
+	// Any scheme must tolerate every failure set of size <= m.
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 3}, {3, 2, 4}, {3, 2, 6}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		for i := 0; i <= l.M; i++ {
+			if p := l.TolerationProbability(i); p != 1 {
+				t.Errorf("%s: f_%d = %v, want 1", l, i, p)
+			}
+		}
+	}
+}
+
+func TestTolerationProbabilitySRS214(t *testing.T) {
+	// C(5,2)=10 two-subsets; tolerated: {0,1},{0,3},{1,2},{2,3} = 4/10.
+	l := MustLayout(2, 1, 4)
+	if p := l.TolerationProbability(2); p != 0.4 {
+		t.Fatalf("f_2 = %v, want 0.4 (paper: probability 2/5)", p)
+	}
+	if u := l.MaxTolerated(); u != 2 {
+		t.Fatalf("MaxTolerated = %d, want 2", u)
+	}
+}
+
+func TestCanTolerateMatchesRankOracle(t *testing.T) {
+	// The counting implementation must agree with an exhaustive
+	// GF-rank check on the expanded matrix: survivors' rows of Hexp
+	// must span all l data columns.
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 3}, {2, 1, 4}, {3, 2, 4}, {2, 2, 4}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		hexp := l.ExpandedMatrix()
+		blk := l.Stripes()
+		n := l.S + l.M
+		for mask := 0; mask < 1<<n; mask++ {
+			var failed []int
+			for b := 0; b < n; b++ {
+				if mask&(1<<b) != 0 {
+					failed = append(failed, b)
+				}
+			}
+			// Collect surviving Hexp rows.
+			var rows []int
+			for b := 0; b < l.L; b++ {
+				if mask&(1<<l.DataNodeOf(b)) == 0 {
+					rows = append(rows, b)
+				}
+			}
+			for r := 0; r < l.M; r++ {
+				if mask&(1<<(l.S+r)) == 0 {
+					for tt := 0; tt < blk; tt++ {
+						rows = append(rows, l.L+r*blk+tt)
+					}
+				}
+			}
+			recoverable := false
+			if len(rows) >= l.L {
+				recoverable = hexp.PickRows(rows).Rank() == l.L
+			}
+			if got := l.CanTolerate(failed); got != recoverable {
+				t.Fatalf("%s: CanTolerate(%v) = %v, rank oracle says %v", l, failed, got, recoverable)
+			}
+		}
+	}
+}
+
+func TestStripeMembers(t *testing.T) {
+	l := MustLayout(2, 1, 3)
+	got := l.StripeMembers(1)
+	if len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("StripeMembers(1) = %v, want [1 4]", got)
+	}
+}
+
+func TestStorageOverhead(t *testing.T) {
+	if o := MustLayout(3, 2, 3).StorageOverhead(); o < 1.66 || o > 1.67 {
+		t.Fatalf("RS(3,2) overhead = %v, want ~1.66 (paper Table, 1.66x)", o)
+	}
+	if o := MustLayout(3, 2, 6).StorageOverhead(); o < 1.66 || o > 1.67 {
+		t.Fatal("stretching must not change storage overhead")
+	}
+}
+
+func TestSchemeCount(t *testing.T) {
+	// Paper: the number of erasure coded schemes with given s is s(s-1)/2.
+	if SchemeCount(4) != 6 {
+		t.Fatalf("SchemeCount(4) = %d", SchemeCount(4))
+	}
+}
+
+func TestCountSubsets(t *testing.T) {
+	cases := []struct{ n, r, want int }{{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {10, 3, 120}, {5, 6, 0}, {5, -1, 0}}
+	for _, c := range cases {
+		if got := CountSubsets(c.n, c.r); got != c.want {
+			t.Errorf("C(%d,%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestPanicsOnBadIndices(t *testing.T) {
+	l := MustLayout(2, 1, 3)
+	for name, f := range map[string]func(){
+		"DataNodeOf":  func() { l.DataNodeOf(6) },
+		"StripePos":   func() { l.StripePos(-1) },
+		"NodeBlocks":  func() { l.NodeBlocks(3) },
+		"BlockAt":     func() { l.BlockAt(2, 0) },
+		"CanTolerate": func() { l.CanTolerate([]int{9}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkEncodeStretchedSRS323_64KiB(b *testing.B) {
+	l := MustLayout(3, 2, 3)
+	rng := rand.New(rand.NewSource(1))
+	data := make([][]byte, l.L)
+	for i := range data {
+		data[i] = make([]byte, 64*1024/l.L)
+		rng.Read(data[i])
+	}
+	b.SetBytes(64 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.EncodeStretched(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestToleranceMonotone: if a failure set is not tolerable, no
+// superset of it is tolerable either (checked by random sampling).
+func TestToleranceMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 4}, {3, 2, 5}, {2, 2, 6}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		n := l.S + l.M
+		for trial := 0; trial < 200; trial++ {
+			// Draw a random subset.
+			var set []int
+			for i := 0; i < n; i++ {
+				if rng.Intn(3) == 0 {
+					set = append(set, i)
+				}
+			}
+			if l.CanTolerate(set) || len(set) == n {
+				continue
+			}
+			// Extend with one more random node: must stay intolerable.
+			extra := rng.Intn(n)
+			in := false
+			for _, v := range set {
+				if v == extra {
+					in = true
+				}
+			}
+			if in {
+				continue
+			}
+			if l.CanTolerate(append(append([]int{}, set...), extra)) {
+				t.Fatalf("%s: superset of intolerable set %v became tolerable", l, set)
+			}
+		}
+	}
+}
+
+// TestTolerationProbabilityMonotone: f_i is non-increasing in i.
+func TestTolerationProbabilityMonotone(t *testing.T) {
+	for _, cfg := range []struct{ k, m, s int }{{2, 1, 4}, {3, 1, 5}, {3, 2, 6}} {
+		l := MustLayout(cfg.k, cfg.m, cfg.s)
+		last := 1.0
+		for i := 0; i <= l.S+l.M; i++ {
+			p := l.TolerationProbability(i)
+			if p > last+1e-12 {
+				t.Fatalf("%s: f_%d = %v above f_%d = %v", l, i, p, i-1, last)
+			}
+			last = p
+		}
+	}
+}

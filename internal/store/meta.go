@@ -1,0 +1,228 @@
+package store
+
+import (
+	"sort"
+
+	"ring/internal/proto"
+)
+
+// EntryKey addresses one version of one key inside a memgest's
+// metadata hashtable.
+type EntryKey struct {
+	Key     string
+	Version proto.Version
+}
+
+// Entry is one metadata hashtable record:
+//
+//	key,version -> data, length, committed, requests
+//
+// The committed flag and parked requests are the volatile part of the
+// paper's scheme; Rec carries everything that is replicated.
+type Entry struct {
+	Rec proto.MetaRecord
+	// Value holds the bytes for replicated memgests (where redundancy
+	// nodes store full copies). For SRS memgests the primary bytes
+	// live in the coordinator's BlockHeap at Ext and Value is nil.
+	Value []byte
+	// Ext locates the bytes in the block heap (SRS memgests only).
+	Ext Extent
+	// Seq is the replicated-log sequence that carried this entry.
+	Seq proto.Seq
+	// ParkedGets are get requests waiting for this entry to commit
+	// (client address + request id), per Figure 5 of the paper.
+	ParkedGets []Waiter
+	// ParkedMoves are move requests waiting for durability.
+	ParkedMoves []MoveWaiter
+}
+
+// Waiter identifies a parked get reply.
+type Waiter struct {
+	Client string
+	Req    proto.ReqID
+}
+
+// MoveWaiter identifies a parked move.
+type MoveWaiter struct {
+	Client string
+	Req    proto.ReqID
+	Dst    proto.MemgestID
+}
+
+// MetaTable is the metadata hashtable of one memgest shard. The
+// coordinator's copy is authoritative; replicas and parity nodes hold
+// replicas maintained through the replicated log.
+type MetaTable struct {
+	entries map[EntryKey]*Entry
+	bytes   uint64 // approximate serialized size, for recovery sizing
+}
+
+// NewMetaTable creates an empty table.
+func NewMetaTable() *MetaTable {
+	return &MetaTable{entries: make(map[EntryKey]*Entry)}
+}
+
+// recSize approximates the wire size of a metadata record.
+func recSize(rec *proto.MetaRecord) uint64 {
+	return uint64(len(rec.Key)) + 26
+}
+
+// Put inserts or replaces an entry (write-ahead: entries are inserted
+// before they are committed).
+func (t *MetaTable) Put(e *Entry) {
+	k := EntryKey{e.Rec.Key, e.Rec.Version}
+	if old, ok := t.entries[k]; ok {
+		t.bytes -= recSize(&old.Rec)
+	}
+	t.entries[k] = e
+	t.bytes += recSize(&e.Rec)
+}
+
+// Get returns the entry for (key, version), or nil.
+func (t *MetaTable) Get(key string, v proto.Version) *Entry {
+	return t.entries[EntryKey{key, v}]
+}
+
+// Delete removes (key, version) and returns the removed entry, if any.
+func (t *MetaTable) Delete(key string, v proto.Version) *Entry {
+	k := EntryKey{key, v}
+	e, ok := t.entries[k]
+	if !ok {
+		return nil
+	}
+	delete(t.entries, k)
+	t.bytes -= recSize(&e.Rec)
+	return e
+}
+
+// Len returns the number of entries.
+func (t *MetaTable) Len() int { return len(t.entries) }
+
+// SizeBytes returns the approximate serialized size of the table; this
+// is the "metadata size" axis of the recovery experiment (Figure 12).
+func (t *MetaTable) SizeBytes() uint64 { return t.bytes }
+
+// Records serializes every entry's replicated part, sorted by key then
+// version for deterministic wire contents.
+func (t *MetaTable) Records() []proto.MetaRecord {
+	out := make([]proto.MetaRecord, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, e.Rec)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// Range calls fn for every entry until fn returns false.
+func (t *MetaTable) Range(fn func(*Entry) bool) {
+	for _, e := range t.entries {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// VersionRef points from the volatile hashtable into a memgest.
+type VersionRef struct {
+	Version proto.Version
+	Memgest proto.MemgestID
+}
+
+// VolatileIndex is the per-coordinator volatile hashtable mapping each
+// key to its versions across all memgests, newest first. It is not
+// replicated: after a failure it is rebuilt from the union of the
+// memgests' metadata hashtables (Section 5.1).
+type VolatileIndex struct {
+	m map[string][]VersionRef
+}
+
+// NewVolatileIndex creates an empty index.
+func NewVolatileIndex() *VolatileIndex {
+	return &VolatileIndex{m: make(map[string][]VersionRef)}
+}
+
+// Add records that (key, version) lives in memgest mg. Versions are
+// kept sorted descending; duplicate versions replace the memgest ref
+// (a key's version is globally unique across memgests by design).
+func (v *VolatileIndex) Add(key string, ver proto.Version, mg proto.MemgestID) {
+	refs := v.m[key]
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].Version <= ver })
+	if i < len(refs) && refs[i].Version == ver {
+		refs[i].Memgest = mg
+		v.m[key] = refs
+		return
+	}
+	refs = append(refs, VersionRef{})
+	copy(refs[i+1:], refs[i:])
+	refs[i] = VersionRef{ver, mg}
+	v.m[key] = refs
+}
+
+// Remove drops (key, version) from the index.
+func (v *VolatileIndex) Remove(key string, ver proto.Version) {
+	refs := v.m[key]
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].Version <= ver })
+	if i >= len(refs) || refs[i].Version != ver {
+		return
+	}
+	refs = append(refs[:i], refs[i+1:]...)
+	if len(refs) == 0 {
+		delete(v.m, key)
+	} else {
+		v.m[key] = refs
+	}
+}
+
+// Highest returns the newest version ref for key (committed or not),
+// which is what put uses to pick the next version and get uses to
+// locate the value.
+func (v *VolatileIndex) Highest(key string) (VersionRef, bool) {
+	refs := v.m[key]
+	if len(refs) == 0 {
+		return VersionRef{}, false
+	}
+	return refs[0], true
+}
+
+// All returns every version of key, newest first (a copy).
+func (v *VolatileIndex) All(key string) []VersionRef {
+	return append([]VersionRef(nil), v.m[key]...)
+}
+
+// Older returns every version of key strictly older than ver.
+func (v *VolatileIndex) Older(key string, ver proto.Version) []VersionRef {
+	refs := v.m[key]
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].Version <= ver })
+	// refs[i] may equal ver; older entries start after it.
+	for i < len(refs) && refs[i].Version == ver {
+		i++
+	}
+	return append([]VersionRef(nil), refs[i:]...)
+}
+
+// Keys returns the number of distinct keys.
+func (v *VolatileIndex) Keys() int { return len(v.m) }
+
+// Clear empties the index (used before a rebuild).
+func (v *VolatileIndex) Clear() {
+	v.m = make(map[string][]VersionRef)
+}
+
+// RebuildFrom reconstructs the index from metadata tables, keyed by
+// their memgest IDs — the recovery path of Section 5.1: "It can be
+// reconstructed by combining metadata hashtables of all local
+// memgests."
+func (v *VolatileIndex) RebuildFrom(tables map[proto.MemgestID]*MetaTable) {
+	v.Clear()
+	for mg, t := range tables {
+		t.Range(func(e *Entry) bool {
+			v.Add(e.Rec.Key, e.Rec.Version, mg)
+			return true
+		})
+	}
+}

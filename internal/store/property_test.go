@@ -1,0 +1,133 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"ring/internal/proto"
+)
+
+// TestVolatileIndexAgainstModel drives random Add/Remove sequences and
+// compares every query against a straightforward map-of-slices model.
+func TestVolatileIndexAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		idx := NewVolatileIndex()
+		model := make(map[string]map[proto.Version]proto.MemgestID)
+		keys := []string{"a", "b", "c"}
+		for op := 0; op < 300; op++ {
+			key := keys[rng.Intn(len(keys))]
+			ver := proto.Version(rng.Intn(20))
+			switch rng.Intn(3) {
+			case 0, 1:
+				mg := proto.MemgestID(rng.Intn(5))
+				idx.Add(key, ver, mg)
+				if model[key] == nil {
+					model[key] = make(map[proto.Version]proto.MemgestID)
+				}
+				model[key][ver] = mg
+			case 2:
+				idx.Remove(key, ver)
+				delete(model[key], ver)
+			}
+			// Compare Highest and All for every key.
+			for _, k := range keys {
+				var vers []proto.Version
+				for v := range model[k] {
+					vers = append(vers, v)
+				}
+				sort.Slice(vers, func(i, j int) bool { return vers[i] > vers[j] })
+				got := idx.All(k)
+				if len(got) != len(vers) {
+					return false
+				}
+				for i, v := range vers {
+					if got[i].Version != v || got[i].Memgest != model[k][v] {
+						return false
+					}
+				}
+				hi, ok := idx.Highest(k)
+				if ok != (len(vers) > 0) {
+					return false
+				}
+				if ok && hi.Version != vers[0] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBlockHeapConservation: allocated + free bytes always equals the
+// heap capacity under random workloads, and Reserve round-trips with
+// Free.
+func TestBlockHeapConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewBlockHeap(0, 3, 128)
+		capacity := uint64(3 * 128)
+		var live []Extent
+		for op := 0; op < 200; op++ {
+			if h.UsedBytes()+h.FreeBytes() != capacity {
+				return false
+			}
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(live))
+				h.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			e, err := h.Alloc(1 + rng.Intn(40))
+			if err != nil {
+				continue
+			}
+			live = append(live, e)
+		}
+		// Reserve what we free, then free it again.
+		if len(live) > 0 {
+			e := live[0]
+			h.Free(e)
+			if err := h.Reserve(e); err != nil {
+				return false
+			}
+			h.Free(e)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReserve(t *testing.T) {
+	h := NewBlockHeap(0, 1, 100)
+	if err := h.Reserve(Extent{Block: 0, Off: 20, Len: 30}); err != nil {
+		t.Fatal(err)
+	}
+	if h.UsedBytes() != 30 {
+		t.Fatalf("used = %d", h.UsedBytes())
+	}
+	// Overlapping reservation fails.
+	if err := h.Reserve(Extent{Block: 0, Off: 25, Len: 10}); err == nil {
+		t.Fatal("overlapping reserve accepted")
+	}
+	// The surrounding space is still allocatable.
+	a, err := h.Alloc(20)
+	if err != nil || a.Off != 0 {
+		t.Fatalf("front alloc: %+v %v", a, err)
+	}
+	b, err := h.Alloc(50)
+	if err != nil || b.Off != 50 {
+		t.Fatalf("tail alloc: %+v %v", b, err)
+	}
+	// Zero-length reserve is a no-op.
+	if err := h.Reserve(Extent{}); err != nil {
+		t.Fatal(err)
+	}
+}

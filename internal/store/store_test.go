@@ -1,0 +1,376 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"ring/internal/proto"
+)
+
+func TestKeyHashStable(t *testing.T) {
+	if KeyHash("abc") != KeyHash("abc") {
+		t.Fatal("hash not deterministic")
+	}
+	if KeyHash("abc") == KeyHash("abd") {
+		t.Fatal("suspicious collision between near keys")
+	}
+}
+
+func TestBlockHeapAllocWriteRead(t *testing.T) {
+	h := NewBlockHeap(10, 3, 128)
+	if h.Blocks() != 3 || h.BlockSize() != 128 || h.FirstBlock() != 10 {
+		t.Fatal("geometry wrong")
+	}
+	ext, err := h.Alloc(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Block != 10 || ext.Off != 0 || ext.Len != 16 {
+		t.Fatalf("first alloc at %+v", ext)
+	}
+	val := []byte("0123456789abcdef")
+	delta := h.Write(ext, val)
+	// Fresh region was zero, so delta == val.
+	if !bytes.Equal(delta, val) {
+		t.Fatal("delta for fresh write must equal the value")
+	}
+	if !bytes.Equal(h.Read(ext), val) {
+		t.Fatal("read back mismatch")
+	}
+	// Overwrite: delta = old ^ new.
+	val2 := []byte("fedcba9876543210")
+	delta2 := h.Write(ext, val2)
+	for i := range delta2 {
+		if delta2[i] != val[i]^val2[i] {
+			t.Fatal("overwrite delta wrong")
+		}
+	}
+	if h.UsedBytes() != 16 {
+		t.Fatalf("used = %d", h.UsedBytes())
+	}
+}
+
+func TestBlockHeapNoSpanning(t *testing.T) {
+	h := NewBlockHeap(0, 2, 64)
+	// Fill most of block 0.
+	a, _ := h.Alloc(50)
+	if a.Block != 0 {
+		t.Fatal("expected block 0")
+	}
+	// 20 bytes no longer fit in block 0; must go to block 1.
+	b, err := h.Alloc(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Block != 1 {
+		t.Fatalf("allocation spanned into block %d", b.Block)
+	}
+	// Oversized allocations fail outright.
+	if _, err := h.Alloc(65); err == nil {
+		t.Fatal("alloc larger than block accepted")
+	}
+	if _, err := h.Alloc(0); err == nil {
+		t.Fatal("zero alloc accepted")
+	}
+}
+
+func TestBlockHeapFullAndFree(t *testing.T) {
+	h := NewBlockHeap(0, 2, 32)
+	var exts []Extent
+	for {
+		e, err := h.Alloc(32)
+		if err != nil {
+			break
+		}
+		exts = append(exts, e)
+	}
+	if len(exts) != 2 {
+		t.Fatalf("allocated %d full blocks, want 2", len(exts))
+	}
+	if _, err := h.Alloc(1); err != ErrHeapFull {
+		t.Fatalf("want ErrHeapFull, got %v", err)
+	}
+	h.Free(exts[0])
+	if _, err := h.Alloc(32); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestBlockHeapFreeCoalescing(t *testing.T) {
+	h := NewBlockHeap(0, 1, 100)
+	a, _ := h.Alloc(30)
+	b, _ := h.Alloc(30)
+	c, _ := h.Alloc(40)
+	h.Free(a)
+	h.Free(c)
+	h.Free(b) // joins a and c: the whole block is free again
+	if got, err := h.Alloc(100); err != nil || got.Off != 0 {
+		t.Fatalf("coalescing failed: %+v %v", got, err)
+	}
+}
+
+func TestBlockHeapDoubleFreePanics(t *testing.T) {
+	h := NewBlockHeap(0, 1, 64)
+	e, _ := h.Alloc(10)
+	h.Free(e)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h.Free(e)
+}
+
+func TestBlockHeapReuseDelta(t *testing.T) {
+	// When a freed extent is reused, Write must produce old^new, which
+	// keeps parity consistent for recycled space.
+	h := NewBlockHeap(0, 1, 64)
+	e, _ := h.Alloc(8)
+	old := []byte("oldvalue")
+	h.Write(e, old)
+	h.Free(e)
+	e2, _ := h.Alloc(8)
+	if e2 != e {
+		t.Fatalf("expected reuse of freed extent, got %+v", e2)
+	}
+	nw := []byte("newvalue")
+	delta := h.Write(e2, nw)
+	for i := range delta {
+		if delta[i] != old[i]^nw[i] {
+			t.Fatal("reuse delta must be old^new, not new")
+		}
+	}
+}
+
+func TestBlockHeapRandomizedAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewBlockHeap(0, 4, 256)
+	live := map[Extent][]byte{}
+	for i := 0; i < 2000; i++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			for e, want := range live {
+				if !bytes.Equal(h.Read(e), want) {
+					t.Fatalf("iteration %d: extent %+v corrupted", i, e)
+				}
+				h.Free(e)
+				delete(live, e)
+				break
+			}
+			continue
+		}
+		n := 1 + rng.Intn(64)
+		e, err := h.Alloc(n)
+		if err != nil {
+			continue
+		}
+		val := make([]byte, n)
+		rng.Read(val)
+		h.Write(e, val)
+		live[e] = val
+	}
+	var want uint64
+	for e := range live {
+		want += uint64(e.Len)
+	}
+	if h.UsedBytes() != want {
+		t.Fatalf("used accounting: %d != %d", h.UsedBytes(), want)
+	}
+	if h.FreeBytes() != 4*256-want {
+		t.Fatalf("free accounting: %d", h.FreeBytes())
+	}
+}
+
+func TestBlockData(t *testing.T) {
+	h := NewBlockHeap(5, 2, 16)
+	e, _ := h.Alloc(4)
+	h.Write(e, []byte{1, 2, 3, 4})
+	blk := h.BlockData(5)
+	if !bytes.Equal(blk[:4], []byte{1, 2, 3, 4}) {
+		t.Fatal("BlockData wrong")
+	}
+	h.SetBlockData(6, bytes.Repeat([]byte{9}, 16))
+	if h.BlockData(6)[15] != 9 {
+		t.Fatal("SetBlockData wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range block access did not panic")
+		}
+	}()
+	h.BlockData(7)
+}
+
+func TestParityRegion(t *testing.T) {
+	p := NewParityRegion(3, 32)
+	if p.Stripes() != 3 || p.BlockSize() != 32 {
+		t.Fatal("geometry")
+	}
+	p.ApplyDelta(1, 4, []byte{0xff, 0x0f})
+	if p.Block(1)[4] != 0xff || p.Block(1)[5] != 0x0f {
+		t.Fatal("delta not applied")
+	}
+	p.ApplyDelta(1, 4, []byte{0xff, 0x0f})
+	if p.Block(1)[4] != 0 || p.Block(1)[5] != 0 {
+		t.Fatal("XOR twice must cancel")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow delta did not panic")
+		}
+	}()
+	p.ApplyDelta(0, 31, []byte{1, 2})
+}
+
+func rec(key string, v proto.Version, mg proto.MemgestID, committed bool) proto.MetaRecord {
+	return proto.MetaRecord{Key: key, Version: v, Memgest: mg, Committed: committed}
+}
+
+func TestMetaTable(t *testing.T) {
+	mt := NewMetaTable()
+	mt.Put(&Entry{Rec: rec("a", 1, 1, false)})
+	mt.Put(&Entry{Rec: rec("a", 2, 1, true)})
+	mt.Put(&Entry{Rec: rec("b", 1, 1, true)})
+	if mt.Len() != 3 {
+		t.Fatalf("Len = %d", mt.Len())
+	}
+	if e := mt.Get("a", 2); e == nil || !e.Rec.Committed {
+		t.Fatal("Get(a,2) wrong")
+	}
+	if mt.Get("a", 3) != nil {
+		t.Fatal("Get of absent version")
+	}
+	// Replace must not double-count size.
+	before := mt.SizeBytes()
+	mt.Put(&Entry{Rec: rec("a", 2, 1, true)})
+	if mt.SizeBytes() != before {
+		t.Fatal("replace changed size accounting")
+	}
+	recs := mt.Records()
+	if len(recs) != 3 || recs[0].Key != "a" || recs[0].Version != 1 || recs[2].Key != "b" {
+		t.Fatalf("Records order: %+v", recs)
+	}
+	if mt.Delete("a", 1) == nil || mt.Len() != 2 {
+		t.Fatal("Delete failed")
+	}
+	if mt.Delete("a", 1) != nil {
+		t.Fatal("second Delete returned entry")
+	}
+	n := 0
+	mt.Range(func(*Entry) bool { n++; return true })
+	if n != 2 {
+		t.Fatalf("Range visited %d", n)
+	}
+	n = 0
+	mt.Range(func(*Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatal("Range early stop failed")
+	}
+}
+
+func TestMetaTableSizeGrows(t *testing.T) {
+	mt := NewMetaTable()
+	var last uint64
+	for i := 0; i < 100; i++ {
+		mt.Put(&Entry{Rec: rec(string(rune('a'+i%26))+string(rune('0'+i/26)), proto.Version(i), 1, true)})
+		if mt.SizeBytes() <= last {
+			t.Fatal("size must grow monotonically with inserts")
+		}
+		last = mt.SizeBytes()
+	}
+}
+
+func TestVolatileIndex(t *testing.T) {
+	v := NewVolatileIndex()
+	if _, ok := v.Highest("k"); ok {
+		t.Fatal("empty index returned a version")
+	}
+	v.Add("k", 1, 10)
+	v.Add("k", 3, 11)
+	v.Add("k", 2, 10)
+	hi, ok := v.Highest("k")
+	if !ok || hi.Version != 3 || hi.Memgest != 11 {
+		t.Fatalf("Highest = %+v", hi)
+	}
+	all := v.All("k")
+	if len(all) != 3 || all[0].Version != 3 || all[2].Version != 1 {
+		t.Fatalf("All = %+v", all)
+	}
+	older := v.Older("k", 3)
+	if len(older) != 2 || older[0].Version != 2 {
+		t.Fatalf("Older = %+v", older)
+	}
+	if len(v.Older("k", 1)) != 0 {
+		t.Fatal("Older(1) must be empty")
+	}
+	// Duplicate version replaces memgest (a move in flight).
+	v.Add("k", 3, 12)
+	hi, _ = v.Highest("k")
+	if hi.Memgest != 12 {
+		t.Fatal("duplicate Add did not replace memgest")
+	}
+	if len(v.All("k")) != 3 {
+		t.Fatal("duplicate Add grew the list")
+	}
+	v.Remove("k", 3)
+	hi, _ = v.Highest("k")
+	if hi.Version != 2 {
+		t.Fatalf("after Remove: %+v", hi)
+	}
+	v.Remove("k", 99) // no-op
+	v.Remove("k", 2)
+	v.Remove("k", 1)
+	if _, ok := v.Highest("k"); ok {
+		t.Fatal("key should be gone")
+	}
+	if v.Keys() != 0 {
+		t.Fatal("Keys != 0")
+	}
+}
+
+func TestVolatileIndexRebuild(t *testing.T) {
+	t1 := NewMetaTable()
+	t1.Put(&Entry{Rec: rec("a", 1, 1, true)})
+	t1.Put(&Entry{Rec: rec("b", 5, 1, true)})
+	t2 := NewMetaTable()
+	t2.Put(&Entry{Rec: rec("a", 2, 2, false)})
+
+	v := NewVolatileIndex()
+	v.Add("stale", 9, 9)
+	v.RebuildFrom(map[proto.MemgestID]*MetaTable{1: t1, 2: t2})
+	if _, ok := v.Highest("stale"); ok {
+		t.Fatal("rebuild did not clear stale entries")
+	}
+	hi, ok := v.Highest("a")
+	if !ok || hi.Version != 2 || hi.Memgest != 2 {
+		t.Fatalf("rebuild Highest(a) = %+v", hi)
+	}
+	if hi, _ := v.Highest("b"); hi.Memgest != 1 {
+		t.Fatal("rebuild lost b")
+	}
+	if v.Keys() != 2 {
+		t.Fatalf("Keys = %d", v.Keys())
+	}
+}
+
+func BenchmarkHeapAllocFree(b *testing.B) {
+	h := NewBlockHeap(0, 64, 64*1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := h.Alloc(1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Free(e)
+	}
+}
+
+func BenchmarkVolatileIndexAdd(b *testing.B) {
+	v := NewVolatileIndex()
+	for i := 0; i < b.N; i++ {
+		v.Add("key", proto.Version(i), 1)
+		if i%4 == 3 {
+			v.Remove("key", proto.Version(i-3))
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package traces reproduces the storage-pricing analysis of Figure 10:
+// five I/O traces from the Storage Performance Council (two put-heavy
+// OLTP traces from a large financial institution, three get-dominant
+// traces from a popular search engine) priced under three storage
+// schemes — hot (Rep(3)), cold (SRS(3,2,3)) and simple (Rep(1)).
+//
+// The original SPC trace files are not redistributable, so this
+// package carries their published aggregate statistics (request
+// counts, read/write mix, transferred volume, footprint) and can
+// synthesize request streams with matching aggregates. The pricing
+// model is linear in exactly those aggregates, which is why matching
+// them reproduces the figure.
+package traces
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Stats are the aggregate characteristics of one trace.
+type Stats struct {
+	Name string
+	// Requests is the total number of I/O requests.
+	Requests int
+	// WriteFrac is the fraction of requests that are writes.
+	WriteFrac float64
+	// AvgReqBytes is the mean request size.
+	AvgReqBytes int
+	// FootprintBytes is the live data footprint accessed by the trace.
+	FootprintBytes int64
+	// DurationHours is the trace capture duration.
+	DurationHours float64
+}
+
+// ReadBytes returns the total bytes read.
+func (s Stats) ReadBytes() float64 {
+	return float64(s.Requests) * (1 - s.WriteFrac) * float64(s.AvgReqBytes)
+}
+
+// WriteBytes returns the total bytes written.
+func (s Stats) WriteBytes() float64 {
+	return float64(s.Requests) * s.WriteFrac * float64(s.AvgReqBytes)
+}
+
+// The five traces of Figure 10, with aggregates matching the published
+// SPC trace characteristics (OLTP applications at a large financial
+// institution; a popular search engine).
+var (
+	Financial1 = Stats{Name: "Financial1", Requests: 5334987, WriteFrac: 0.768, AvgReqBytes: 3700, FootprintBytes: 17 << 30, DurationHours: 12.1}
+	Financial2 = Stats{Name: "Financial2", Requests: 3699194, WriteFrac: 0.176, AvgReqBytes: 2600, FootprintBytes: 8 << 30, DurationHours: 11.5}
+	WebSearch1 = Stats{Name: "WebSearch1", Requests: 1055448, WriteFrac: 0.0002, AvgReqBytes: 15500, FootprintBytes: 15 << 30, DurationHours: 2.4}
+	WebSearch2 = Stats{Name: "WebSearch2", Requests: 4579809, WriteFrac: 0.0002, AvgReqBytes: 15700, FootprintBytes: 16 << 30, DurationHours: 4.3}
+	WebSearch3 = Stats{Name: "WebSearch3", Requests: 4261709, WriteFrac: 0.0002, AvgReqBytes: 15600, FootprintBytes: 16 << 30, DurationHours: 4.5}
+)
+
+// All returns the five Figure 10 traces in the figure's order.
+func All() []Stats {
+	return []Stats{Financial1, Financial2, WebSearch1, WebSearch2, WebSearch3}
+}
+
+// SchemeClass is one of the three priced storage classes.
+type SchemeClass int
+
+const (
+	// Simple is unreplicated Rep(1) storage.
+	Simple SchemeClass = iota
+	// Hot is Rep(3) replication (Azure hot tier).
+	Hot
+	// Cold is SRS(3,2,3) erasure coding (Azure cool tier).
+	Cold
+)
+
+func (s SchemeClass) String() string {
+	switch s {
+	case Simple:
+		return "simple"
+	case Hot:
+		return "hot"
+	case Cold:
+		return "cold"
+	}
+	return fmt.Sprintf("class(%d)", int(s))
+}
+
+// Pricing holds the per-class price vector, modeled on the Azure Blob
+// Storage pricing (Central US, Feb 2018) cited by the paper:
+// write/read prices per 10,000 operations, storage per GB-month, and
+// data transfer per GB. Azure has no "simple" tier; per the paper it
+// is priced like hot but with puts 3x cheaper (no replication).
+type Pricing struct {
+	WritePer10K   float64
+	ReadPer10K    float64
+	StoragePerGB  float64 // per GB-month
+	TransferPerGB float64
+}
+
+// AzurePrices returns the price vectors per class.
+func AzurePrices() map[SchemeClass]Pricing {
+	hot := Pricing{WritePer10K: 0.05, ReadPer10K: 0.004, StoragePerGB: 0.0184, TransferPerGB: 0.01}
+	cool := Pricing{WritePer10K: 0.10, ReadPer10K: 0.01, StoragePerGB: 0.01, TransferPerGB: 0.01}
+	simple := hot
+	simple.WritePer10K = hot.WritePer10K / 3
+	return map[SchemeClass]Pricing{Simple: simple, Hot: hot, Cold: cool}
+}
+
+// CostBreakdown itemizes the price of running one trace on one class,
+// the components stacked in Figure 10.
+type CostBreakdown struct {
+	Class    SchemeClass
+	Write    float64
+	Read     float64
+	Transfer float64
+	Storage  float64
+}
+
+// Total sums the components.
+func (c CostBreakdown) Total() float64 { return c.Write + c.Read + c.Transfer + c.Storage }
+
+// Cost prices a trace under a class: operation costs from the request
+// counts, transfer from bytes moved, and storage for holding the
+// footprint at constant capacity for one month (the paper's "storing
+// data at a constant capacity").
+func Cost(tr Stats, class SchemeClass, prices map[SchemeClass]Pricing) CostBreakdown {
+	p := prices[class]
+	const gb = 1 << 30
+	writes := float64(tr.Requests) * tr.WriteFrac
+	reads := float64(tr.Requests) * (1 - tr.WriteFrac)
+	return CostBreakdown{
+		Class:    class,
+		Write:    writes / 10000 * p.WritePer10K,
+		Read:     reads / 10000 * p.ReadPer10K,
+		Transfer: (tr.ReadBytes() + tr.WriteBytes()) / gb * p.TransferPerGB,
+		Storage:  float64(tr.FootprintBytes) / gb * p.StoragePerGB,
+	}
+}
+
+// Normalized prices a trace under all three classes and divides by the
+// simple class's total — the y axis of Figure 10.
+func Normalized(tr Stats) map[SchemeClass]CostBreakdown {
+	prices := AzurePrices()
+	base := Cost(tr, Simple, prices).Total()
+	out := make(map[SchemeClass]CostBreakdown, 3)
+	for _, cl := range []SchemeClass{Simple, Hot, Cold} {
+		c := Cost(tr, cl, prices)
+		c.Write /= base
+		c.Read /= base
+		c.Transfer /= base
+		c.Storage /= base
+		out[cl] = c
+	}
+	return out
+}
+
+// Op is one synthesized trace request.
+type Op struct {
+	Write bool
+	Key   string
+	Size  int
+}
+
+// Synthesize produces n requests whose aggregate read/write mix and
+// mean size match the trace statistics; the key space is sized so the
+// footprint matches at the mean request size. Used to drive the KVS
+// with trace-shaped load.
+func Synthesize(tr Stats, n int, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	keys := int(tr.FootprintBytes / int64(tr.AvgReqBytes))
+	if keys < 1 {
+		keys = 1
+	}
+	ops := make([]Op, n)
+	for i := range ops {
+		// Request sizes: uniform in [avg/2, 3avg/2], preserving the mean.
+		size := tr.AvgReqBytes/2 + rng.Intn(tr.AvgReqBytes)
+		ops[i] = Op{
+			Write: rng.Float64() < tr.WriteFrac,
+			Key:   fmt.Sprintf("%s-%08d", tr.Name, rng.Intn(keys)),
+			Size:  size,
+		}
+	}
+	return ops
+}

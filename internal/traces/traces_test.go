@@ -1,0 +1,114 @@
+package traces
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceStatsShape(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatal("figure 10 uses five traces")
+	}
+	// Financial traces are put-heavy or mixed; web search is get-only.
+	if Financial1.WriteFrac < 0.5 {
+		t.Fatal("Financial1 must be write-heavy")
+	}
+	for _, ws := range []Stats{WebSearch1, WebSearch2, WebSearch3} {
+		if ws.WriteFrac > 0.01 {
+			t.Fatalf("%s must be read-dominant", ws.Name)
+		}
+	}
+	if Financial1.ReadBytes() <= 0 || Financial1.WriteBytes() <= 0 {
+		t.Fatal("byte accounting broken")
+	}
+}
+
+func TestCostComponentsPositive(t *testing.T) {
+	prices := AzurePrices()
+	for _, tr := range All() {
+		for _, cl := range []SchemeClass{Simple, Hot, Cold} {
+			c := Cost(tr, cl, prices)
+			if c.Write < 0 || c.Read < 0 || c.Transfer <= 0 || c.Storage <= 0 {
+				t.Fatalf("%s/%v: nonpositive components %+v", tr.Name, cl, c)
+			}
+			if c.Total() <= 0 {
+				t.Fatalf("%s/%v: nonpositive total", tr.Name, cl)
+			}
+		}
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	// The headline numbers of Section 6.2: for Financial1 (put-heavy),
+	// cold is ~5.5x simple and ~2x hot.
+	n := Normalized(Financial1)
+	if tot := n[Simple].Total(); math.Abs(tot-1) > 1e-9 {
+		t.Fatalf("simple not normalized: %v", tot)
+	}
+	coldX := n[Cold].Total()
+	hotX := n[Hot].Total()
+	if coldX < 3.5 || coldX > 7.5 {
+		t.Fatalf("Financial1 cold = %.2fx simple, paper says ~5.5x", coldX)
+	}
+	ratio := coldX / hotX
+	if ratio < 1.4 || ratio > 2.8 {
+		t.Fatalf("Financial1 cold/hot = %.2f, paper says ~2x", ratio)
+	}
+	// Write cost dominates the put-heavy trace under cold.
+	if n[Cold].Write < n[Cold].Read {
+		t.Fatal("cold Financial1 must be write-dominated")
+	}
+	// Get-dominant traces: the scheme choice matters much less, and
+	// cold can even be competitive (cheaper storage).
+	for _, tr := range []Stats{WebSearch1, WebSearch2, WebSearch3} {
+		nw := Normalized(tr)
+		if nw[Cold].Total() > 3 {
+			t.Fatalf("%s cold = %.2fx simple: read traces should not explode", tr.Name, nw[Cold].Total())
+		}
+	}
+	// Ordering for put-heavy traces: simple < hot < cold.
+	for _, tr := range []Stats{Financial1} {
+		nf := Normalized(tr)
+		if !(nf[Simple].Total() < nf[Hot].Total() && nf[Hot].Total() < nf[Cold].Total()) {
+			t.Fatalf("%s ordering broken: %v %v %v", tr.Name,
+				nf[Simple].Total(), nf[Hot].Total(), nf[Cold].Total())
+		}
+	}
+}
+
+func TestSynthesizeMatchesAggregates(t *testing.T) {
+	ops := Synthesize(Financial1, 50000, 1)
+	if len(ops) != 50000 {
+		t.Fatal("wrong op count")
+	}
+	writes := 0
+	var bytes int64
+	keys := map[string]bool{}
+	for _, op := range ops {
+		if op.Write {
+			writes++
+		}
+		bytes += int64(op.Size)
+		keys[op.Key] = true
+		if op.Size <= 0 {
+			t.Fatal("nonpositive request size")
+		}
+	}
+	gotFrac := float64(writes) / 50000
+	if math.Abs(gotFrac-Financial1.WriteFrac) > 0.02 {
+		t.Fatalf("write fraction %.3f, want %.3f", gotFrac, Financial1.WriteFrac)
+	}
+	avg := float64(bytes) / 50000
+	if math.Abs(avg-float64(Financial1.AvgReqBytes)) > float64(Financial1.AvgReqBytes)/10 {
+		t.Fatalf("avg size %.0f, want ~%d", avg, Financial1.AvgReqBytes)
+	}
+	if len(keys) < 1000 {
+		t.Fatalf("key space too small: %d", len(keys))
+	}
+}
+
+func TestSchemeClassString(t *testing.T) {
+	if Simple.String() != "simple" || Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatal("class names wrong")
+	}
+}

@@ -1,0 +1,235 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// TCPFabric implements the fabric over real TCP sockets. Each endpoint
+// owns a listener; Send lazily dials and caches one outbound
+// connection per peer. Frames are length-prefixed:
+//
+//	[4-byte big-endian frame length][frame]
+//	frame = [2-byte sender-address length][sender address][payload]
+//
+// The sender address rides in every frame (rather than once per
+// connection) to keep the framing stateless and trivially robust to
+// reconnects.
+type TCPFabric struct {
+	mu sync.Mutex
+	// resolve maps logical addresses to TCP "host:port" when the two
+	// differ (ringd uses logical node names over real sockets).
+	resolve map[string]string
+}
+
+// NewTCPFabric creates a TCP-backed fabric. Logical addresses are used
+// verbatim as TCP addresses unless remapped with Map.
+func NewTCPFabric() *TCPFabric {
+	return &TCPFabric{resolve: make(map[string]string)}
+}
+
+// Map binds a logical address to a concrete TCP address.
+func (f *TCPFabric) Map(logical, tcpAddr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.resolve[logical] = tcpAddr
+}
+
+func (f *TCPFabric) lookup(addr string) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t, ok := f.resolve[addr]; ok {
+		return t
+	}
+	return addr
+}
+
+// Register implements Fabric: it starts listening on the TCP address
+// mapped from addr (or addr itself). A logical address with no mapping
+// and no port (e.g. an ephemeral client name) binds to a loopback
+// ephemeral port; peers reach it only by replying over its outbound
+// connections.
+func (f *TCPFabric) Register(addr string) (Endpoint, error) {
+	if addr == "" {
+		return nil, ErrEmptyAddress
+	}
+	tcpAddr := f.lookup(addr)
+	if tcpAddr == addr && !strings.Contains(addr, ":") {
+		tcpAddr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		fabric:     f,
+		addr:       addr,
+		ln:         ln,
+		inbox:      make(chan Packet, 1024),
+		conns:      make(map[string]net.Conn),
+		replyConns: make(map[string]net.Conn),
+		done:       make(chan struct{}),
+	}
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// BoundAddr returns the concrete TCP address an endpoint is listening
+// on (useful when registering with port 0).
+func BoundAddr(e Endpoint) string {
+	if t, ok := e.(*tcpEndpoint); ok {
+		return t.ln.Addr().String()
+	}
+	return e.Addr()
+}
+
+type tcpEndpoint struct {
+	fabric *TCPFabric
+	addr   string
+	ln     net.Listener
+	inbox  chan Packet
+
+	mu    sync.Mutex
+	conns map[string]net.Conn
+	// replyConns remembers the inbound connection a peer last spoke
+	// on, so replies can be routed to peers with no dialable address
+	// (clients behind arbitrary ports).
+	replyConns map[string]net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (e *tcpEndpoint) Addr() string { return e.addr }
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 64<<10)
+	for {
+		from, payload, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		e.replyConns[from] = c
+		e.mu.Unlock()
+		select {
+		case e.inbox <- Packet{From: from, Payload: payload}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return "", nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 2 || n > 64<<20 {
+		return "", nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return "", nil, err
+	}
+	alen := int(binary.BigEndian.Uint16(frame[:2]))
+	if 2+alen > len(frame) {
+		return "", nil, fmt.Errorf("transport: bad address length %d", alen)
+	}
+	return string(frame[2 : 2+alen]), frame[2+alen:], nil
+}
+
+func writeFrame(c net.Conn, from string, payload []byte) error {
+	buf := make([]byte, 4+2+len(from)+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(2+len(from)+len(payload)))
+	binary.BigEndian.PutUint16(buf[4:], uint16(len(from)))
+	copy(buf[6:], from)
+	copy(buf[6+len(from):], payload)
+	_, err := c.Write(buf)
+	return err
+}
+
+func (e *tcpEndpoint) Send(to string, payload []byte) error {
+	e.mu.Lock()
+	c := e.conns[to]
+	if c == nil {
+		// Fall back to the connection the peer last spoke on.
+		c = e.replyConns[to]
+	}
+	e.mu.Unlock()
+	if c == nil {
+		nc, err := net.Dial("tcp", e.fabric.lookup(to))
+		if err != nil {
+			return fmt.Errorf("%w: %s (%v)", ErrUnknownPeer, to, err)
+		}
+		e.mu.Lock()
+		if old := e.conns[to]; old != nil {
+			// Lost the race; keep the existing connection.
+			nc.Close()
+			c = old
+		} else {
+			e.conns[to] = nc
+			c = nc
+			// Connections are full duplex: the peer replies over the
+			// same socket, so read from dialed connections too.
+			go e.readLoop(nc)
+		}
+		e.mu.Unlock()
+	}
+	if err := writeFrame(c, e.addr, payload); err != nil {
+		// Connection broke: forget it so the next send re-dials.
+		e.mu.Lock()
+		if e.conns[to] == c {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		c.Close()
+		return fmt.Errorf("%w: %s (%v)", ErrUnknownPeer, to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (Packet, error) {
+	select {
+	case p := <-e.inbox:
+		return p, nil
+	case <-e.done:
+		select {
+		case p := <-e.inbox:
+			return p, nil
+		default:
+			return Packet{}, ErrClosed
+		}
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.ln.Close()
+		e.mu.Lock()
+		for _, c := range e.conns {
+			c.Close()
+		}
+		e.conns = map[string]net.Conn{}
+		e.mu.Unlock()
+	})
+	return nil
+}

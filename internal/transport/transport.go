@@ -1,0 +1,180 @@
+// Package transport provides the message fabric Ring nodes and
+// clients communicate over. It is the stand-in for the paper's RDMA
+// verbs layer: a connectionless, message-oriented interface with two
+// real implementations — an in-process channel fabric (memnet) used by
+// tests, examples and live benchmarks, and a TCP fabric (tcpnet) used
+// by the ringd/ringctl binaries.
+//
+// The abstraction is deliberately RDMA-send/receive-shaped: an
+// Endpoint registers under an address and exchanges datagrams with
+// other endpoints; there is no per-peer connection state visible to
+// the user. All protocol structure (who talks to whom, how many hops,
+// how many bytes) lives above this layer, which is what lets the
+// discrete-event simulator (package sim) reproduce latency behaviour
+// without any transport at all.
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Packet is one datagram delivered through a fabric.
+type Packet struct {
+	From    string
+	Payload []byte
+}
+
+// Endpoint is a registered participant able to send and receive.
+type Endpoint interface {
+	// Addr returns the address the endpoint registered under.
+	Addr() string
+	// Send transmits payload to the endpoint registered at `to`.
+	// Delivery is best-effort: sends to dead or unknown endpoints
+	// return an error or are dropped, like datagrams.
+	Send(to string, payload []byte) error
+	// Recv blocks until a packet arrives or the endpoint closes.
+	Recv() (Packet, error)
+	// Close unregisters the endpoint and unblocks Recv.
+	Close() error
+}
+
+// Fabric creates endpoints.
+type Fabric interface {
+	// Register creates an endpoint under addr. Registering an address
+	// twice is an error until the first endpoint closes.
+	Register(addr string) (Endpoint, error)
+}
+
+// Errors shared by fabric implementations.
+var (
+	ErrClosed       = errors.New("transport: endpoint closed")
+	ErrUnknownPeer  = errors.New("transport: unknown peer")
+	ErrAddrInUse    = errors.New("transport: address already registered")
+	ErrEmptyAddress = errors.New("transport: empty address")
+)
+
+// ---------------------------------------------------------------- memnet
+
+// MemFabric is an in-process fabric backed by per-endpoint buffered
+// channels. A Drop hook and per-endpoint partitions support failure
+// injection in tests.
+type MemFabric struct {
+	mu    sync.Mutex
+	peers map[string]*memEndpoint
+	// dropFn, when set, is consulted for every send; returning true
+	// silently drops the packet (message loss injection).
+	dropFn func(from, to string) bool
+	// queueLen is the per-endpoint inbox capacity.
+	queueLen int
+}
+
+// NewMemFabric creates an in-process fabric. queueLen <= 0 selects a
+// default inbox depth of 1024 packets.
+func NewMemFabric(queueLen int) *MemFabric {
+	if queueLen <= 0 {
+		queueLen = 1024
+	}
+	return &MemFabric{peers: make(map[string]*memEndpoint), queueLen: queueLen}
+}
+
+// SetDropFunc installs a packet-drop predicate (nil disables). It is
+// the fault-injection hook used by partition and message-loss tests.
+func (f *MemFabric) SetDropFunc(fn func(from, to string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropFn = fn
+}
+
+// Register implements Fabric.
+func (f *MemFabric) Register(addr string) (Endpoint, error) {
+	if addr == "" {
+		return nil, ErrEmptyAddress
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.peers[addr]; ok {
+		return nil, ErrAddrInUse
+	}
+	ep := &memEndpoint{
+		fabric: f,
+		addr:   addr,
+		inbox:  make(chan Packet, f.queueLen),
+		done:   make(chan struct{}),
+	}
+	f.peers[addr] = ep
+	return ep, nil
+}
+
+// Disconnect forcibly removes an endpoint, simulating a node crash:
+// subsequent sends to it fail and its Recv unblocks with ErrClosed.
+func (f *MemFabric) Disconnect(addr string) {
+	f.mu.Lock()
+	ep := f.peers[addr]
+	f.mu.Unlock()
+	if ep != nil {
+		ep.Close()
+	}
+}
+
+type memEndpoint struct {
+	fabric *MemFabric
+	addr   string
+	inbox  chan Packet
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (e *memEndpoint) Addr() string { return e.addr }
+
+func (e *memEndpoint) Send(to string, payload []byte) error {
+	f := e.fabric
+	f.mu.Lock()
+	drop := f.dropFn != nil && f.dropFn(e.addr, to)
+	peer := f.peers[to]
+	f.mu.Unlock()
+	if drop {
+		return nil // silently lost, like a datagram
+	}
+	if peer == nil {
+		return ErrUnknownPeer
+	}
+	// Copy the payload: senders reuse buffers, receivers own packets.
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	select {
+	case peer.inbox <- Packet{From: e.addr, Payload: cp}:
+		return nil
+	case <-peer.done:
+		return ErrUnknownPeer
+	}
+}
+
+func (e *memEndpoint) Recv() (Packet, error) {
+	select {
+	case p := <-e.inbox:
+		return p, nil
+	case <-e.done:
+		// Drain anything that raced with Close so shutdown is clean.
+		select {
+		case p := <-e.inbox:
+			return p, nil
+		default:
+			return Packet{}, ErrClosed
+		}
+	}
+}
+
+func (e *memEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		f := e.fabric
+		f.mu.Lock()
+		if f.peers[e.addr] == e {
+			delete(f.peers, e.addr)
+		}
+		f.mu.Unlock()
+		close(e.done)
+	})
+	return nil
+}

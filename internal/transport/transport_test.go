@@ -1,0 +1,302 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemFabricBasic(t *testing.T) {
+	f := NewMemFabric(0)
+	a, err := f.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Addr() != "a" {
+		t.Fatalf("Addr = %q", a.Addr())
+	}
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.From != "a" || string(p.Payload) != "hello" {
+		t.Fatalf("got %+v", p)
+	}
+}
+
+func TestMemFabricDuplicateRegister(t *testing.T) {
+	f := NewMemFabric(0)
+	if _, err := f.Register(""); err != ErrEmptyAddress {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := f.Register("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Register("x"); err != ErrAddrInUse {
+		t.Fatalf("dup: %v", err)
+	}
+}
+
+func TestMemFabricUnknownPeer(t *testing.T) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	if err := a.Send("ghost", []byte("x")); err != ErrUnknownPeer {
+		t.Fatalf("want ErrUnknownPeer, got %v", err)
+	}
+}
+
+func TestMemFabricCloseUnblocksRecv(t *testing.T) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock")
+	}
+	// Address becomes reusable after close.
+	if _, err := f.Register("a"); err != nil {
+		t.Fatalf("re-register after close: %v", err)
+	}
+}
+
+func TestMemFabricPayloadIsolation(t *testing.T) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	b, _ := f.Register("b")
+	buf := []byte("abc")
+	a.Send("b", buf)
+	buf[0] = 'z' // sender reuses its buffer
+	p, _ := b.Recv()
+	if !bytes.Equal(p.Payload, []byte("abc")) {
+		t.Fatalf("payload aliased sender buffer: %q", p.Payload)
+	}
+}
+
+func TestMemFabricDropFunc(t *testing.T) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	b, _ := f.Register("b")
+	f.SetDropFunc(func(from, to string) bool { return to == "b" })
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatalf("dropped send must not error: %v", err)
+	}
+	f.SetDropFunc(nil)
+	a.Send("b", []byte("kept"))
+	p, _ := b.Recv()
+	if string(p.Payload) != "kept" {
+		t.Fatalf("got %q, drop predicate leaked a packet", p.Payload)
+	}
+}
+
+func TestMemFabricDisconnect(t *testing.T) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	f.Register("b")
+	f.Disconnect("b")
+	if err := a.Send("b", []byte("x")); err != ErrUnknownPeer {
+		t.Fatalf("send to disconnected: %v", err)
+	}
+}
+
+func TestMemFabricConcurrentSenders(t *testing.T) {
+	f := NewMemFabric(4096)
+	dst, _ := f.Register("dst")
+	const senders, per = 8, 100
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ep, err := f.Register(fmt.Sprintf("s%d", s))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < per; i++ {
+				if err := ep.Send("dst", []byte{byte(s), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	got := make(map[string]int)
+	for i := 0; i < senders*per; i++ {
+		p, err := dst.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[p.From]++
+	}
+	wg.Wait()
+	for s := 0; s < senders; s++ {
+		if got[fmt.Sprintf("s%d", s)] != per {
+			t.Fatalf("sender %d delivered %d of %d", s, got[fmt.Sprintf("s%d", s)], per)
+		}
+	}
+}
+
+func TestTCPFabricRoundTrip(t *testing.T) {
+	f := NewTCPFabric()
+	f.Map("a", "127.0.0.1:0")
+	f.Map("b", "127.0.0.1:0")
+	a, err := f.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := f.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Re-map logical names to the actually bound ports.
+	f.Map("a", BoundAddr(a))
+	f.Map("b", BoundAddr(b))
+
+	if err := a.Send("b", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.From != "a" || string(p.Payload) != "over tcp" {
+		t.Fatalf("got %+v", p)
+	}
+	// Reply path exercises the reverse connection.
+	if err := b.Send("a", []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	p, err = a.Recv()
+	if err != nil || string(p.Payload) != "pong" {
+		t.Fatalf("reply: %v %q", err, p.Payload)
+	}
+}
+
+func TestTCPFabricLargeAndMany(t *testing.T) {
+	f := NewTCPFabric()
+	f.Map("a", "127.0.0.1:0")
+	f.Map("b", "127.0.0.1:0")
+	a, _ := f.Register("a")
+	defer a.Close()
+	b, _ := f.Register("b")
+	defer b.Close()
+	f.Map("a", BoundAddr(a))
+	f.Map("b", BoundAddr(b))
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		p, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p.Payload, big) {
+			t.Fatalf("frame %d corrupted", i)
+		}
+	}
+}
+
+func TestTCPFabricReplyRouting(t *testing.T) {
+	// A peer with no dialable mapping (a client on an ephemeral port)
+	// must still receive replies: the server routes them back over the
+	// inbound connection.
+	f := NewTCPFabric()
+	f.Map("server", "127.0.0.1:0")
+	srv, err := f.Register("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f.Map("server", BoundAddr(srv))
+
+	cf := NewTCPFabric()
+	cf.Map("client/1", "127.0.0.1:0")
+	cf.Map("server", BoundAddr(srv))
+	cli, err := cf.Register("client/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Send("server", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := srv.Recv()
+	if err != nil || string(p.Payload) != "ping" {
+		t.Fatalf("server recv: %v %q", err, p.Payload)
+	}
+	// Note: the server has no mapping for "client/1".
+	if err := srv.Send(p.From, []byte("pong")); err != nil {
+		t.Fatalf("reply over inbound connection: %v", err)
+	}
+	rp, err := cli.Recv()
+	if err != nil || string(rp.Payload) != "pong" {
+		t.Fatalf("client recv: %v %q", err, rp.Payload)
+	}
+}
+
+func TestTCPFabricUnknownPeer(t *testing.T) {
+	f := NewTCPFabric()
+	f.Map("a", "127.0.0.1:0")
+	a, _ := f.Register("a")
+	defer a.Close()
+	f.Map("dead", "127.0.0.1:1") // nothing listens there
+	if err := a.Send("dead", []byte("x")); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+}
+
+func BenchmarkMemFabricRoundTrip(b *testing.B) {
+	f := NewMemFabric(0)
+	a, _ := f.Register("a")
+	dst, _ := f.Register("b")
+	payload := make([]byte, 1024)
+	go func() {
+		for {
+			p, err := dst.Recv()
+			if err != nil {
+				return
+			}
+			dst.Send(p.From, p.Payload)
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send("b", payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	dst.Close()
+}

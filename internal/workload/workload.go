@@ -1,0 +1,213 @@
+// Package workload generates the synthetic loads of the paper's
+// evaluation: YCSB-style key-value request streams with Zipfian or
+// uniform key popularity, configurable get:put mixes (100:0, 95:5,
+// 50:50, 0:100), fixed-size keys and values, and the open-loop arrival
+// schedules of Figures 9 (one new 400K req/s client per second) and 11
+// (a single client doubling its rate each second).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// OpKind is a request type.
+type OpKind uint8
+
+const (
+	OpGet OpKind = iota
+	OpPut
+)
+
+// Op is one generated request.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value []byte
+	// At is the scheduled arrival time for open-loop schedules.
+	At time.Duration
+}
+
+// Zipfian draws keys 0..n-1 with the YCSB Zipfian distribution
+// (exponent theta, default 0.99): a few keys are hot, the tail cold.
+// The implementation follows Gray et al.'s "Quickly Generating
+// Billion-Record Synthetic Databases" rejection-free method used by
+// YCSB.
+type Zipfian struct {
+	n     int
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	z2    float64
+	rng   *rand.Rand
+}
+
+// DefaultTheta is YCSB's default Zipfian constant.
+const DefaultTheta = 0.99
+
+// NewZipfian builds a generator over n items with the given theta in
+// (0,1); it panics on invalid parameters.
+func NewZipfian(n int, theta float64, seed int64) *Zipfian {
+	if n <= 0 {
+		panic(fmt.Sprintf("workload: zipfian over %d items", n))
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipfian theta %v out of (0,1)", theta))
+	}
+	z := &Zipfian{n: n, theta: theta, rng: rand.New(rand.NewSource(seed))}
+	z.zetan = zeta(n, theta)
+	z.z2 = zeta(2, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.z2/z.zetan)
+	return z
+}
+
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next draws the next item index in [0, n).
+func (z *Zipfian) Next() int {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// Uniform draws keys uniformly.
+type Uniform struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniform builds a uniform key chooser over n items.
+func NewUniform(n int, seed int64) *Uniform {
+	if n <= 0 {
+		panic("workload: uniform over zero items")
+	}
+	return &Uniform{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws the next item index.
+func (u *Uniform) Next() int { return u.rng.Intn(u.n) }
+
+// KeyChooser abstracts the popularity distribution.
+type KeyChooser interface {
+	Next() int
+}
+
+// Mix describes a get:put ratio, e.g. Mix{Get: 95, Put: 5}.
+type Mix struct {
+	Get, Put int
+}
+
+func (m Mix) String() string { return fmt.Sprintf("(%d%%:%d%%)", m.Get, m.Put) }
+
+// PaperMixes are the four workload mixes of Figure 11.
+var PaperMixes = []Mix{{100, 0}, {95, 5}, {50, 50}, {0, 100}}
+
+// Generator produces request streams with the paper's parameters:
+// 8-byte keys, 1 KiB values by default.
+type Generator struct {
+	Keys      KeyChooser
+	Mix       Mix
+	KeyLen    int
+	ValueSize int
+	rng       *rand.Rand
+	value     []byte
+}
+
+// NewGenerator builds a generator; zero KeyLen/ValueSize select the
+// paper's 8 B keys and 1 KiB values.
+func NewGenerator(keys KeyChooser, mix Mix, seed int64) *Generator {
+	g := &Generator{Keys: keys, Mix: mix, KeyLen: 8, ValueSize: 1024, rng: rand.New(rand.NewSource(seed))}
+	g.value = make([]byte, g.ValueSize)
+	g.rng.Read(g.value)
+	return g
+}
+
+// SetValueSize changes the value size for subsequent ops.
+func (g *Generator) SetValueSize(n int) {
+	g.ValueSize = n
+	g.value = make([]byte, n)
+	g.rng.Read(g.value)
+}
+
+// Key formats item index i as a fixed-width key of KeyLen bytes.
+func (g *Generator) Key(i int) string {
+	return fmt.Sprintf("%0*x", g.KeyLen, i)[:g.KeyLen]
+}
+
+// Next produces the next operation (no arrival time).
+func (g *Generator) Next() Op {
+	op := Op{Key: g.Key(g.Keys.Next())}
+	total := g.Mix.Get + g.Mix.Put
+	if total == 0 || g.rng.Intn(total) < g.Mix.Get {
+		op.Kind = OpGet
+	} else {
+		op.Kind = OpPut
+		op.Value = g.value
+	}
+	return op
+}
+
+// ConstantRate schedules n ops at a fixed request rate starting at
+// `start`, the open-loop pattern of Figure 9's clients.
+func (g *Generator) ConstantRate(start time.Duration, ratePerSec float64, n int) []Op {
+	if ratePerSec <= 0 {
+		panic("workload: non-positive rate")
+	}
+	gap := time.Duration(float64(time.Second) / ratePerSec)
+	ops := make([]Op, n)
+	at := start
+	for i := range ops {
+		ops[i] = g.Next()
+		ops[i].At = at
+		at += gap
+	}
+	return ops
+}
+
+// DoublingRamp schedules the Figure 11 pattern: each second the client
+// doubles its rate from startRate until it exceeds endRate.
+func (g *Generator) DoublingRamp(startRate, endRate float64) []Op {
+	if startRate <= 0 || endRate < startRate {
+		panic("workload: invalid ramp")
+	}
+	var ops []Op
+	start := time.Duration(0)
+	for rate := startRate; rate <= endRate; rate *= 2 {
+		n := int(rate) // one second at this rate
+		ops = append(ops, g.ConstantRate(start, rate, n)...)
+		start += time.Second
+	}
+	return ops
+}
+
+// ClientRamp schedules Figure 9's pattern: `clients` independent
+// streams, stream i starting at second i, each offering ratePerSec for
+// the remaining duration.
+func ClientRamp(mkGen func(i int) *Generator, clients int, ratePerSec float64, total time.Duration) [][]Op {
+	out := make([][]Op, clients)
+	for i := 0; i < clients; i++ {
+		start := time.Duration(i) * time.Second
+		if start >= total {
+			break
+		}
+		n := int(ratePerSec * (total - start).Seconds())
+		out[i] = mkGen(i).ConstantRate(start, ratePerSec, n)
+	}
+	return out
+}

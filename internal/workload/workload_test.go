@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	z := NewZipfian(10000, DefaultTheta, 1)
+	counts := make(map[int]int)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := z.Next()
+		if v < 0 || v >= 10000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Zipf(0.99): item 0 should dominate; the top item takes roughly
+	// 1/zeta(n) ~ 10% of the mass for n=10k.
+	p0 := float64(counts[0]) / draws
+	if p0 < 0.05 || p0 > 0.2 {
+		t.Fatalf("hottest key probability %.3f, want ~0.1", p0)
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[100] {
+		t.Fatal("popularity not monotone in rank")
+	}
+}
+
+func TestZipfianDeterministicBySeed(t *testing.T) {
+	a := NewZipfian(100, DefaultTheta, 7)
+	b := NewZipfian(100, DefaultTheta, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestZipfianValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfian(0, 0.99, 1) },
+		func() { NewZipfian(10, 0, 1) },
+		func() { NewZipfian(10, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid params accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := NewUniform(100, 3)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[u.Next()]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-1000) > 300 {
+			t.Fatalf("key %d drawn %d times, want ~1000", i, c)
+		}
+	}
+}
+
+func TestGeneratorMix(t *testing.T) {
+	for _, mix := range PaperMixes {
+		g := NewGenerator(NewUniform(1000, 1), mix, 2)
+		gets, puts := 0, 0
+		for i := 0; i < 10000; i++ {
+			op := g.Next()
+			if len(op.Key) != 8 {
+				t.Fatalf("key %q not 8 bytes", op.Key)
+			}
+			switch op.Kind {
+			case OpGet:
+				if op.Value != nil {
+					t.Fatal("get with value")
+				}
+				gets++
+			case OpPut:
+				if len(op.Value) != 1024 {
+					t.Fatalf("put value %d bytes, want 1024", len(op.Value))
+				}
+				puts++
+			}
+		}
+		wantGet := float64(mix.Get) / 100
+		if math.Abs(float64(gets)/10000-wantGet) > 0.02 {
+			t.Fatalf("mix %v: got %d gets of 10000", mix, gets)
+		}
+		_ = puts
+	}
+}
+
+func TestGeneratorValueSize(t *testing.T) {
+	g := NewGenerator(NewUniform(10, 1), Mix{0, 100}, 1)
+	g.SetValueSize(64)
+	if op := g.Next(); len(op.Value) != 64 {
+		t.Fatalf("value size %d", len(op.Value))
+	}
+}
+
+func TestConstantRate(t *testing.T) {
+	g := NewGenerator(NewUniform(10, 1), Mix{50, 50}, 1)
+	ops := g.ConstantRate(time.Second, 1000, 100)
+	if len(ops) != 100 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	if ops[0].At != time.Second {
+		t.Fatalf("first at %v", ops[0].At)
+	}
+	gap := ops[1].At - ops[0].At
+	if gap != time.Millisecond {
+		t.Fatalf("gap %v, want 1ms", gap)
+	}
+	for i := 1; i < len(ops); i++ {
+		if ops[i].At <= ops[i-1].At {
+			t.Fatal("arrival times not increasing")
+		}
+	}
+}
+
+func TestDoublingRamp(t *testing.T) {
+	g := NewGenerator(NewUniform(10, 1), Mix{0, 100}, 1)
+	ops := g.DoublingRamp(1000, 4000)
+	// 1s at 1000 + 1s at 2000 + 1s at 4000.
+	if len(ops) != 1000+2000+4000 {
+		t.Fatalf("%d ops", len(ops))
+	}
+	if ops[len(ops)-1].At >= 3*time.Second {
+		t.Fatalf("ramp overran: last at %v", ops[len(ops)-1].At)
+	}
+}
+
+func TestClientRamp(t *testing.T) {
+	streams := ClientRamp(func(i int) *Generator {
+		return NewGenerator(NewUniform(100, int64(i)), Mix{0, 100}, int64(i))
+	}, 4, 1000, 4*time.Second)
+	if len(streams) != 4 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	for i, ops := range streams {
+		wantStart := time.Duration(i) * time.Second
+		if ops[0].At != wantStart {
+			t.Fatalf("stream %d starts at %v", i, ops[0].At)
+		}
+		wantN := int(1000 * (4*time.Second - wantStart).Seconds())
+		if len(ops) != wantN {
+			t.Fatalf("stream %d has %d ops, want %d", i, len(ops), wantN)
+		}
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1_000_000, DefaultTheta, 1)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
