@@ -247,13 +247,24 @@ func liveCluster(b *testing.B) (*ring.Cluster, *ring.Client) {
 	return cl, c
 }
 
+// benchKeys pre-formats the key working set so the timed loops measure
+// the store, not fmt.
+func benchKeys(prefix string, n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return keys
+}
+
 func benchLivePut(b *testing.B, mg ring.MemgestID, size int) {
 	_, c := liveCluster(b)
 	val := make([]byte, size)
+	keys := benchKeys("k", 4096)
 	b.SetBytes(int64(size))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.PutIn(fmt.Sprintf("k%d", i%4096), val, mg); err != nil {
+		if _, err := c.PutIn(keys[i%4096], val, mg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -272,12 +283,62 @@ func BenchmarkLiveGet1KiB(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	keys := benchKeys("g", 256)
 	b.SetBytes(1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := c.Get(fmt.Sprintf("g%d", i%256)); err != nil {
+		if _, _, err := c.Get(keys[i%256]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchLivePipelinedPut drives the asynchronous client with `depth`
+// requests in flight — the pipelining the paper's throughput numbers
+// (Fig 9, Table 1) assume. Compare against the sequential
+// BenchmarkLivePut* loops above to see the latency-bound vs
+// fabric-bound gap.
+func benchLivePipelinedPut(b *testing.B, mg ring.MemgestID, size, depth int) {
+	_, c := liveCluster(b)
+	val := make([]byte, size)
+	keys := benchKeys("k", 4096)
+	p := c.NewPipeline(depth)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.PutIn(keys[i%4096], val, mg)
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkLivePipelinedPut_REP3(b *testing.B)  { benchLivePipelinedPut(b, 2, 1024, 16) }
+func BenchmarkLivePipelinedPut_SRS32(b *testing.B) { benchLivePipelinedPut(b, 4, 1024, 16) }
+
+// BenchmarkLivePipelinedMixed runs the paper's 95/5 get/put mix with 16
+// requests outstanding against SRS32.
+func BenchmarkLivePipelinedMixed_SRS32(b *testing.B) {
+	_, c := liveCluster(b)
+	val := make([]byte, 1024)
+	for i := 0; i < 256; i++ {
+		if _, err := c.PutIn(fmt.Sprintf("g%d", i), val, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+	keys := benchKeys("g", 256)
+	p := c.NewPipeline(16)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%20 == 0 {
+			p.PutIn(keys[i%256], val, 4)
+		} else {
+			p.Get(keys[i%256])
+		}
+	}
+	if err := p.Flush(); err != nil {
+		b.Fatal(err)
 	}
 }
 

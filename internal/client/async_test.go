@@ -1,0 +1,164 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestAsyncPutGetDelete(t *testing.T) {
+	_, c := startCluster(t)
+
+	// Issue a window of puts before waiting on any of them.
+	futs := make([]*PutFuture, 32)
+	for i := range futs {
+		futs[i] = c.PutInAsync(fmt.Sprintf("async-%d", i), []byte(fmt.Sprintf("v%d", i)), 2)
+	}
+	for i, f := range futs {
+		if ver, err := f.Wait(); err != nil || ver != 1 {
+			t.Fatalf("put %d: v%d %v", i, ver, err)
+		}
+	}
+
+	gets := make([]*GetFuture, len(futs))
+	for i := range gets {
+		gets[i] = c.GetAsync(fmt.Sprintf("async-%d", i))
+	}
+	for i, f := range gets {
+		val, ver, err := f.Wait()
+		if err != nil || ver != 1 || !bytes.Equal(val, []byte(fmt.Sprintf("v%d", i))) {
+			t.Fatalf("get %d: %q v%d %v", i, val, ver, err)
+		}
+	}
+
+	if err := c.DeleteAsync("async-0").Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.GetAsync("async-0").Wait(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get deleted: %v", err)
+	}
+	// A delete of a missing key resolves to ErrNotFound through the
+	// future as well.
+	if err := c.DeleteAsync("async-never").Wait(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestAsyncFutureWaitIsIdempotent(t *testing.T) {
+	_, c := startCluster(t)
+	f := c.PutInAsync("idem", []byte("v"), 2)
+	v1, err1 := f.Wait()
+	v2, err2 := f.Wait()
+	if v1 != v2 || !errors.Is(err1, err2) && (err1 != nil || err2 != nil) {
+		t.Fatalf("Wait not idempotent: (%v,%v) vs (%v,%v)", v1, err1, v2, err2)
+	}
+}
+
+func TestPipelineBoundsOutstanding(t *testing.T) {
+	_, c := startCluster(t)
+	const depth = 4
+	p := c.NewPipeline(depth)
+	for i := 0; i < 64; i++ {
+		p.PutIn(fmt.Sprintf("pipe-%d", i), []byte("v"), 2)
+		if n := p.inflight.Load(); int(n) > depth {
+			t.Fatalf("outstanding %d > depth %d", n, depth)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything issued before Flush is visible afterwards.
+	for i := 0; i < 64; i++ {
+		if _, _, err := c.Get(fmt.Sprintf("pipe-%d", i)); err != nil {
+			t.Fatalf("get pipe-%d after flush: %v", i, err)
+		}
+	}
+}
+
+func TestPipelineMixedOpsAndReuse(t *testing.T) {
+	_, c := startCluster(t)
+	p := c.NewPipeline(8)
+	for i := 0; i < 16; i++ {
+		p.PutIn(fmt.Sprintf("mix-%d", i), []byte{byte(i)}, 2)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Second batch on the same pipeline: gets and deletes, with typed
+	// results available through the returned futures.
+	gf := p.Get("mix-3")
+	p.Delete("mix-5")
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if val, _, err := gf.Wait(); err != nil || !bytes.Equal(val, []byte{3}) {
+		t.Fatalf("pipelined get: %q %v", val, err)
+	}
+	if _, _, err := c.Get("mix-5"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("mix-5 not deleted: %v", err)
+	}
+}
+
+func TestPipelineSurfacesFirstError(t *testing.T) {
+	_, c := startCluster(t)
+	p := c.NewPipeline(8)
+	p.Get("pipeline-missing-key") // NotFound becomes the flush error
+	err := p.Flush()
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("flush err = %v, want ErrNotFound", err)
+	}
+	// The error is consumed: a clean batch flushes clean.
+	p.PutIn("pipe-ok", []byte("v"), 2)
+	if err := p.Flush(); err != nil {
+		t.Fatalf("reused pipeline: %v", err)
+	}
+}
+
+func TestPipelineConcurrentIssuers(t *testing.T) {
+	_, c := startCluster(t)
+	p := c.NewPipeline(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				p.PutIn(fmt.Sprintf("conc-%d-%d", g, i), []byte("v"), 2)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 4; g++ {
+		for i := 0; i < 16; i++ {
+			if _, _, err := c.Get(fmt.Sprintf("conc-%d-%d", g, i)); err != nil {
+				t.Fatalf("conc-%d-%d: %v", g, i, err)
+			}
+		}
+	}
+}
+
+func TestAsyncManyInFlightOverwritesSameKey(t *testing.T) {
+	// Pipelined writes to the same key stress the version chain and
+	// the coalesced commit+purge path; the final committed version must
+	// be the highest issued.
+	_, c := startCluster(t)
+	p := c.NewPipeline(8)
+	for i := 0; i < 40; i++ {
+		p.PutIn("hot", []byte{byte(i)}, 2)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, err := c.Get("hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 40 {
+		t.Fatalf("version after 40 pipelined overwrites = %d", ver)
+	}
+}

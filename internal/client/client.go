@@ -104,21 +104,27 @@ func (c *Client) recvLoop() {
 		if err != nil {
 			return
 		}
-		msg, err := proto.Decode(p.Payload)
-		if err != nil {
-			continue
-		}
-		req, ok := requestID(msg)
-		if !ok {
-			continue
-		}
-		c.mu.Lock()
-		ch := c.waiters[req]
-		delete(c.waiters, req)
-		c.mu.Unlock()
-		if ch != nil {
-			ch <- msg
-		}
+		// Servers coalesce replies bound for the same client into one
+		// TBatch packet; deliver each to its waiter.
+		_ = proto.ForEachPacked(p.Payload, func(enc []byte) error {
+			msg, err := proto.Decode(enc)
+			if err != nil {
+				return nil
+			}
+			req, ok := requestID(msg)
+			if !ok {
+				return nil
+			}
+			c.mu.Lock()
+			ch := c.waiters[req]
+			delete(c.waiters, req)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- msg
+			}
+			return nil
+		})
+		transport.ReleaseBuf(p.Payload)
 	}
 }
 
@@ -142,6 +148,30 @@ func requestID(m proto.Message) (proto.ReqID, bool) {
 }
 
 // call sends a request to `to` and waits for the matching reply.
+// timerPool recycles timeout timers across calls: time.After would
+// leave a live runtime timer behind for the full timeout after every
+// completed request, which at pipelined rates means thousands of
+// orphaned timers churning the timer heap.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
 func (c *Client) call(to string, req proto.ReqID, msg proto.Message) (proto.Message, error) {
 	ch := make(chan proto.Message, 1)
 	c.mu.Lock()
@@ -152,14 +182,16 @@ func (c *Client) call(to string, req proto.ReqID, msg proto.Message) (proto.Mess
 		delete(c.waiters, req)
 		c.mu.Unlock()
 	}
-	if err := c.ep.Send(to, proto.Encode(msg)); err != nil {
+	if err := c.ep.Send(to, proto.AppendEncode(transport.AcquireBuf(), msg)); err != nil {
 		cleanup()
 		return nil, err
 	}
+	t := acquireTimer(c.opts.Timeout)
+	defer releaseTimer(t)
 	select {
 	case reply := <-ch:
 		return reply, nil
-	case <-time.After(c.opts.Timeout):
+	case <-t.C:
 		cleanup()
 		return nil, ErrTimeout
 	case <-c.closed:
@@ -276,21 +308,10 @@ func (c *Client) Put(key string, value []byte) (proto.Version, error) {
 	return c.PutIn(key, value, 0)
 }
 
-// PutIn stores value under key in a specific memgest.
+// PutIn stores value under key in a specific memgest. It is the
+// one-deep special case of the asynchronous path: issue, then wait.
 func (c *Client) PutIn(key string, value []byte, mg proto.MemgestID) (proto.Version, error) {
-	reply, err := c.doKeyOp(key,
-		func(req proto.ReqID) proto.Message {
-			return &proto.Put{Req: req, Key: key, Value: value, Memgest: mg}
-		},
-		func(m proto.Message) proto.Status { return m.(*proto.PutReply).Status })
-	if err != nil {
-		return 0, err
-	}
-	r := reply.(*proto.PutReply)
-	if r.Status != proto.StOK {
-		return 0, r.Status.Err()
-	}
-	return r.Version, nil
+	return c.PutInAsync(key, value, mg).Wait()
 }
 
 // Get fetches the newest committed value of key.
@@ -303,36 +324,12 @@ func (c *Client) Get(key string) ([]byte, proto.Version, error) {
 // KeepVersions > 0 — e.g. the durable copy a key had before being
 // moved to the unreliable memgest.
 func (c *Client) GetVersion(key string, ver proto.Version) ([]byte, proto.Version, error) {
-	reply, err := c.doKeyOp(key,
-		func(req proto.ReqID) proto.Message { return &proto.Get{Req: req, Key: key, Version: ver} },
-		func(m proto.Message) proto.Status { return m.(*proto.GetReply).Status })
-	if err != nil {
-		return nil, 0, err
-	}
-	r := reply.(*proto.GetReply)
-	switch r.Status {
-	case proto.StOK:
-		return r.Value, r.Version, nil
-	case proto.StNotFound:
-		return nil, 0, ErrNotFound
-	default:
-		return nil, 0, r.Status.Err()
-	}
+	return c.GetVersionAsync(key, ver).Wait()
 }
 
 // Delete removes key.
 func (c *Client) Delete(key string) error {
-	reply, err := c.doKeyOp(key,
-		func(req proto.ReqID) proto.Message { return &proto.Delete{Req: req, Key: key} },
-		func(m proto.Message) proto.Status { return m.(*proto.DeleteReply).Status })
-	if err != nil {
-		return err
-	}
-	r := reply.(*proto.DeleteReply)
-	if r.Status == proto.StNotFound {
-		return ErrNotFound
-	}
-	return r.Status.Err()
+	return c.DeleteAsync(key).Wait()
 }
 
 // Move transfers key to another memgest without resending its value.

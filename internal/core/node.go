@@ -19,8 +19,22 @@ import (
 	"ring/internal/store"
 )
 
+// nodeAddrs caches the addresses of small node IDs: NodeAddr sits on
+// the per-message send path, where a fmt.Sprintf per call is real CPU.
+var nodeAddrs = func() (a [256]string) {
+	for i := range a {
+		a[i] = fmt.Sprintf("node/%d", i)
+	}
+	return
+}()
+
 // NodeAddr returns the fabric address of a node ID.
-func NodeAddr(id proto.NodeID) string { return fmt.Sprintf("node/%d", id) }
+func NodeAddr(id proto.NodeID) string {
+	if int(id) < len(nodeAddrs) {
+		return nodeAddrs[id]
+	}
+	return fmt.Sprintf("node/%d", id)
+}
 
 // Options tunes a node. The zero value is completed by Defaults.
 type Options struct {

@@ -21,6 +21,13 @@ type Runner struct {
 	start   time.Time
 	stopped chan struct{}
 	done    chan struct{}
+
+	// Event-loop scratch (single-goroutine): the dispatch copy of the
+	// node's output buffer and the per-destination coalescing group.
+	// Reused across events so the steady-state send path does not
+	// allocate beyond the owned payload buffers handed to the fabric.
+	scratch []Out
+	group   []proto.Message
 }
 
 // StartRunner registers the node's endpoint on the fabric and starts
@@ -41,26 +48,36 @@ func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Ru
 		stopped: make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	packets := make(chan transport.Packet, 1024)
-	go func() {
-		for {
-			p, err := ep.Recv()
-			if err != nil {
-				close(packets)
-				return
+	if cr, ok := ep.(transport.ChanReceiver); ok {
+		// Fabric with a channel inbox (memnet): the event loop selects
+		// on it directly — no forwarder goroutine, one less handoff per
+		// packet.
+		go r.loop(cr.RecvChan(), cr.Closed())
+	} else {
+		packets := make(chan transport.Packet, 1024)
+		go func() {
+			for {
+				p, err := ep.Recv()
+				if err != nil {
+					close(packets)
+					return
+				}
+				select {
+				case packets <- p:
+				case <-r.stopped:
+					return
+				}
 			}
-			select {
-			case packets <- p:
-			case <-r.stopped:
-				return
-			}
-		}
-	}()
-	go r.loop(packets)
+		}()
+		go r.loop(packets, nil)
+	}
 	return r, nil
 }
 
-func (r *Runner) loop(packets chan transport.Packet) {
+// loop is the node's event loop. packets either closes on shutdown
+// (forwarder path) or stays open with epClosed signalling shutdown
+// (ChanReceiver path); a nil epClosed never fires.
+func (r *Runner) loop(packets <-chan transport.Packet, epClosed <-chan struct{}) {
 	defer close(r.done)
 	ticker := time.NewTicker(r.ticks)
 	defer ticker.Stop()
@@ -68,34 +85,109 @@ func (r *Runner) loop(packets chan transport.Packet) {
 		select {
 		case <-r.stopped:
 			return
+		case <-epClosed:
+			return
 		case p, ok := <-packets:
 			if !ok {
 				return
 			}
-			msg, err := proto.Decode(p.Payload)
-			if err != nil {
-				continue // drop malformed packets
+			if !r.drain(p, packets) {
+				return
 			}
-			r.dispatch(func(now time.Duration) []Out {
-				return r.node.HandleMessage(now, p.From, msg)
-			})
 		case <-ticker.C:
 			r.dispatch(r.node.HandleTick)
 		}
 	}
 }
 
+// maxDrain bounds how many queued packets one drain pass consumes, so
+// a flooded node still flushes sends and honours Stop promptly.
+const maxDrain = 64
+
+// drain runs p plus any backlog already queued on packets through the
+// state machine under a single lock, then flushes every resulting send
+// in one coalesced pass. Processing the backlog per wakeup instead of
+// per packet amortises lock and scheduler traffic, and lets outputs of
+// different events destined for the same peer share a packet — e.g. a
+// coordinator that finds several acks queued emits the commit fan-out
+// and the client replies they unlock as single per-peer sends. It
+// returns false once the packet channel has closed.
+func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool {
+	open := true
+	r.mu.Lock()
+	now := time.Since(r.start)
+	r.scratch = r.scratch[:0]
+	for drained := 0; ; drained++ {
+		// A packet carries one message or a TBatch of several; each is
+		// run through the state machine in arrival order.
+		_ = proto.ForEachPacked(p.Payload, func(enc []byte) error {
+			msg, err := proto.Decode(enc)
+			if err != nil {
+				return nil // drop malformed messages
+			}
+			r.scratch = append(r.scratch, r.node.HandleMessage(now, p.From, msg)...)
+			return nil
+		})
+		// Decode copied every field out, so the payload can be
+		// recycled into the send-side buffer pool.
+		transport.ReleaseBuf(p.Payload)
+		if drained >= maxDrain {
+			break
+		}
+		var more bool
+		select {
+		case p, more = <-packets:
+			if !more {
+				open = false
+			}
+		default:
+		}
+		if !more {
+			break
+		}
+	}
+	r.mu.Unlock()
+	r.flush(r.scratch)
+	return open
+}
+
 func (r *Runner) dispatch(f func(time.Duration) []Out) {
 	r.mu.Lock()
 	outs := f(time.Since(r.start))
-	// Copy: the node reuses its output buffer across calls.
-	toSend := make([]Out, len(outs))
-	copy(toSend, outs)
+	// Copy into the runner-owned scratch: the node reuses its output
+	// buffer across calls, and sends must happen outside the lock.
+	r.scratch = append(r.scratch[:0], outs...)
 	r.mu.Unlock()
-	for _, o := range toSend {
+	r.flush(r.scratch)
+}
+
+// flush coalesces one event's outputs by destination and transmits
+// each group as a single packet: m parity updates or r replica
+// appends fanning out to the same peer cost one Send, the equivalent
+// of posting back-to-back verbs with a single doorbell. Message order
+// per destination is preserved; entries are cleared afterwards so the
+// scratch slice does not pin messages.
+func (r *Runner) flush(outs []Out) {
+	for i := range outs {
+		if outs[i].To == "" {
+			continue // already coalesced into an earlier group
+		}
+		to := outs[i].To
+		r.group = append(r.group[:0], outs[i].Msg)
+		for j := i + 1; j < len(outs); j++ {
+			if outs[j].To == to {
+				r.group = append(r.group, outs[j].Msg)
+				outs[j] = Out{}
+			}
+		}
+		buf := proto.AppendBatch(transport.AcquireBuf(), r.group...)
 		// Best-effort, like a datagram fabric: dead peers are the
 		// failure detector's problem, not the sender's.
-		_ = r.ep.Send(o.To, proto.Encode(o.Msg))
+		_ = r.ep.Send(to, buf)
+		outs[i] = Out{}
+	}
+	for i := range r.group {
+		r.group[i] = nil
 	}
 }
 

@@ -31,9 +31,10 @@ var (
 	// undefined) and left as 0.
 	logTbl [256]byte
 	// mulTbl[c] is the 256-entry row of products c*x for every x.
-	// Rows are materialized lazily by MulTable and cached here; the
-	// whole table is 64 KiB when fully populated.
-	mulTbl [256]*[256]byte
+	// All 256 rows (64 KiB) are materialized eagerly in init so
+	// MulTable is a branch-free lookup that is safe to call from
+	// concurrent encode/recovery goroutines.
+	mulTbl [256][256]byte
 	// invTbl[x] = x^-1; invTbl[0] unused.
 	invTbl [256]byte
 )
@@ -51,6 +52,11 @@ func init() {
 	}
 	for i := 1; i < 256; i++ {
 		invTbl[i] = Exp(255 - int(logTbl[i]))
+	}
+	for c := 0; c < 256; c++ {
+		for x := 0; x < 256; x++ {
+			mulTbl[c][x] = Mul(byte(c), byte(x))
+		}
 	}
 }
 
@@ -122,17 +128,10 @@ func Pow(a byte, n int) byte {
 
 // MulTable returns the 256-entry product row for coefficient c:
 // row[x] == Mul(c, x). The returned array is shared and must not be
-// modified.
+// modified. Rows are precomputed at package init, so the call is a
+// data-race-free constant-time lookup.
 func MulTable(c byte) *[256]byte {
-	if t := mulTbl[c]; t != nil {
-		return t
-	}
-	t := new([256]byte)
-	for x := 0; x < 256; x++ {
-		t[x] = Mul(c, byte(x))
-	}
-	mulTbl[c] = t
-	return t
+	return &mulTbl[c]
 }
 
 // MulSlice sets dst[i] = c*src[i] for all i. dst and src must have the

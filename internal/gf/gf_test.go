@@ -3,6 +3,7 @@ package gf
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -282,4 +283,45 @@ func BenchmarkXorSlice1KiB(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		XorSlice(src, dst)
 	}
+}
+
+func TestMulSliceXorAllocs(t *testing.T) {
+	// The GF kernels are the inner loop of encode/recovery: pinned at
+	// zero allocations, including the (eagerly built) table lookup.
+	src := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	rand.New(rand.NewSource(7)).Read(src)
+	for _, c := range []byte{0, 1, 0x57} {
+		allocs := testing.AllocsPerRun(100, func() {
+			MulSliceXor(c, src, dst)
+		})
+		if allocs != 0 {
+			t.Errorf("MulSliceXor(c=%#x): %.1f allocs/op, want 0", c, allocs)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, func() { _ = MulTable(0x3c) }); allocs != 0 {
+		t.Errorf("MulTable: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestMulTableConcurrent(t *testing.T) {
+	// All 256 rows are precomputed in init, so concurrent first-touch
+	// from parallel encode goroutines is race-free (run under -race).
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := make([]byte, 256)
+			dst := make([]byte, 256)
+			for c := 0; c < 256; c++ {
+				MulSliceXor(byte(c), src, dst)
+				if got := MulTable(byte(c))[3]; got != Mul(byte(c), 3) {
+					t.Errorf("row %d wrong", c)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

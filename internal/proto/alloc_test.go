@@ -1,0 +1,91 @@
+package proto
+
+import "testing"
+
+// Allocation-regression tests: the message hot path is pinned at its
+// allocation counts so refactors cannot quietly reintroduce per-message
+// garbage. AppendEncode into a warm buffer must be allocation-free;
+// Decode pays exactly one allocation for the message struct plus one
+// per variable-length field it copies out.
+
+func TestAppendEncodeAllocs(t *testing.T) {
+	val := make([]byte, 1024)
+	msgs := []struct {
+		name string
+		m    Message
+	}{
+		{"Put1KiB", &Put{Req: 1, Key: "bench-key", Value: val, Memgest: 2}},
+		{"RepAppend1KiB", &RepAppend{Memgest: 2, Shard: 1, Seq: 9, Rec: MetaRecord{Key: "bench-key", Version: 3, Memgest: 2, Length: 1024}, Value: val}},
+		{"ParityUpdate1KiB", &ParityUpdate{Memgest: 2, Shard: 1, Seq: 9, Rec: MetaRecord{Key: "bench-key", Version: 3, Memgest: 2, Length: 1024}, Block: 4, StripeOff: 1, Off: 128, Delta: val}},
+		{"RepCommit", &RepCommit{Memgest: 2, Shard: 1, Seq: 9}},
+		{"PutReply", &PutReply{Req: 1, Status: StOK, Version: 3}},
+	}
+	for _, tc := range msgs {
+		buf := make([]byte, 0, 8192)
+		allocs := testing.AllocsPerRun(100, func() {
+			buf = AppendEncode(buf[:0], tc.m)
+		})
+		if allocs != 0 {
+			t.Errorf("AppendEncode(%s): %.1f allocs/op into a warm buffer, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestAppendBatchAllocs(t *testing.T) {
+	grp := []Message{
+		&RepCommit{Memgest: 2, Shard: 1, Seq: 9},
+		&Purge{Memgest: 2, Shard: 1, Key: "bench-key", Version: 2},
+	}
+	buf := make([]byte, 0, 8192)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendBatch(buf[:0], grp...)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendBatch: %.1f allocs/op into a warm buffer, want 0", allocs)
+	}
+}
+
+func TestDecodeAllocs(t *testing.T) {
+	// Decode allocates the message struct and a copy of each
+	// variable-length field — nothing else. The counts below are
+	// ceilings: raise them only with a wire-format change that
+	// justifies it.
+	cases := []struct {
+		name string
+		m    Message
+		max  float64
+	}{
+		{"Put1KiB", &Put{Req: 1, Key: "bench-key", Value: make([]byte, 1024), Memgest: 2}, 3},       // struct + key + value
+		{"PutReply", &PutReply{Req: 1, Status: StOK, Version: 3}, 1},                               // struct only
+		{"RepCommit", &RepCommit{Memgest: 2, Shard: 1, Seq: 9}, 1},                                 // struct only
+		{"GetReply1KiB", &GetReply{Req: 1, Status: StOK, Version: 3, Value: make([]byte, 1024)}, 2}, // struct + value
+	}
+	for _, tc := range cases {
+		enc := Encode(tc.m)
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := Decode(enc); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > tc.max {
+			t.Errorf("Decode(%s): %.1f allocs/op, want <= %.0f", tc.name, allocs, tc.max)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripAllocs(t *testing.T) {
+	// The full round trip a live put pays per hop: encode into a warm
+	// buffer, then decode. Pinned so the end-to-end message cost stays
+	// at the decode-side copies alone.
+	m := &Put{Req: 1, Key: "bench-key", Value: make([]byte, 1024), Memgest: 2}
+	buf := make([]byte, 0, 8192)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendEncode(buf[:0], m)
+		if _, err := Decode(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 3 {
+		t.Errorf("round trip: %.1f allocs/op, want <= 3", allocs)
+	}
+}

@@ -1,6 +1,9 @@
 package proto
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // MsgType tags the envelope of every wire message.
 type MsgType uint8
@@ -95,12 +98,28 @@ type Message interface {
 	encode(w *writer)
 }
 
-// Encode serializes a message with its envelope type byte.
+// Encode serializes a message with its envelope type byte. It is a
+// convenience shim over AppendEncode that allocates a fresh buffer.
 func Encode(m Message) []byte {
-	w := &writer{b: make([]byte, 0, 64)}
-	w.u8(uint8(m.Type()))
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// writerPool recycles writer headers: encode is an interface method,
+// so a stack writer would escape and cost one allocation per message.
+var writerPool = sync.Pool{New: func() any { return new(writer) }}
+
+// AppendEncode serializes a message with its envelope type byte,
+// appending to buf (which may be nil) and returning the extended
+// slice. It is the allocation-free hot path: callers that reuse a
+// buffer with sufficient capacity pay zero allocations per message.
+func AppendEncode(buf []byte, m Message) []byte {
+	w := writerPool.Get().(*writer)
+	w.b = append(buf, uint8(m.Type()))
 	m.encode(w)
-	return w.b
+	buf = w.b
+	w.b = nil
+	writerPool.Put(w)
+	return buf
 }
 
 // Decode parses an envelope produced by Encode.

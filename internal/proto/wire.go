@@ -8,6 +8,15 @@
 // implements Marshaler; Decode dispatches on the type byte. The format
 // is length-prefixed for all variable fields, rejects truncated input,
 // and is covered by round-trip and corpus tests.
+//
+// Encoding has two entry points: Encode allocates a fresh buffer, and
+// AppendEncode appends into a caller-owned buffer for the
+// zero-allocation hot path. Several messages bound for the same peer
+// can be coalesced into one packet with AppendBatch, producing a
+// TBatch envelope ([1-byte TBatch][u32 count][count length-prefixed
+// messages]); ForEachPacked iterates the sub-messages of such a
+// packet (and degrades to a single visit for plain envelopes). See
+// batch.go for the exact frame layout.
 package proto
 
 import (

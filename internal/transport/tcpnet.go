@@ -20,6 +20,11 @@ import (
 // The sender address rides in every frame (rather than once per
 // connection) to keep the framing stateless and trivially robust to
 // reconnects.
+//
+// Send follows the package-level ownership contract: the payload is
+// copied into the frame synchronously and recycled into the buffer
+// pool before Send returns, so callers must hand over a buffer they
+// will never touch again.
 type TCPFabric struct {
 	mu sync.Mutex
 	// resolve maps logical addresses to TCP "host:port" when the two
@@ -193,7 +198,12 @@ func (e *tcpEndpoint) Send(to string, payload []byte) error {
 		}
 		e.mu.Unlock()
 	}
-	if err := writeFrame(c, e.addr, payload); err != nil {
+	err := writeFrame(c, e.addr, payload)
+	// The frame write staged its own copy; the caller's payload is
+	// transport-owned now (package ownership contract) and can be
+	// recycled either way.
+	ReleaseBuf(payload)
+	if err != nil {
 		// Connection broke: forget it so the next send re-dials.
 		e.mu.Lock()
 		if e.conns[to] == c {

@@ -12,12 +12,53 @@
 // how many bytes) lives above this layer, which is what lets the
 // discrete-event simulator (package sim) reproduce latency behaviour
 // without any transport at all.
+//
+// # Payload ownership
+//
+// Send transfers ownership of the payload slice to the transport: the
+// caller must not read or modify it after Send returns, whether or
+// not Send reported an error. This lets memnet hand the very same
+// slice to the receiver instead of copying it, the way an RDMA send
+// posts a registered buffer rather than staging a copy. Symmetrically
+// the receiver owns Recv's Packet.Payload outright and may recycle it
+// once the packet is fully consumed. AcquireBuf/ReleaseBuf implement
+// that recycling: senders encode into AcquireBuf buffers, receivers
+// return fully-decoded payloads with ReleaseBuf, and the steady-state
+// message path allocates nothing. Both are optional — any fresh slice
+// may be sent, and unreleased payloads are simply garbage collected.
 package transport
 
 import (
 	"errors"
 	"sync"
 )
+
+// bufPool recycles payload buffers between receivers (which release
+// fully-decoded packets) and senders (which acquire encode buffers) —
+// the stand-in for an RDMA registered-buffer pool.
+var bufPool sync.Pool
+
+// AcquireBuf returns an empty buffer to encode an outgoing payload
+// into. Append to it, then pass the result to Send, which takes
+// ownership.
+func AcquireBuf() []byte {
+	if p, _ := bufPool.Get().(*[]byte); p != nil {
+		return (*p)[:0]
+	}
+	return make([]byte, 0, 1024)
+}
+
+// ReleaseBuf recycles a payload buffer whose contents are no longer
+// referenced anywhere — typically a Recv payload after every field of
+// the decoded message has been copied out. Releasing a buffer that is
+// still aliased corrupts later messages; when in doubt, don't release
+// (the pool is purely an optimization).
+func ReleaseBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	bufPool.Put(&b)
+}
 
 // Packet is one datagram delivered through a fabric.
 type Packet struct {
@@ -31,9 +72,13 @@ type Endpoint interface {
 	Addr() string
 	// Send transmits payload to the endpoint registered at `to`.
 	// Delivery is best-effort: sends to dead or unknown endpoints
-	// return an error or are dropped, like datagrams.
+	// return an error or are dropped, like datagrams. Ownership of
+	// payload transfers to the transport (see the package doc): the
+	// caller must not touch the slice after Send returns.
 	Send(to string, payload []byte) error
-	// Recv blocks until a packet arrives or the endpoint closes.
+	// Recv blocks until a packet arrives or the endpoint closes. The
+	// returned Packet.Payload is owned by the caller, who may hand it
+	// to ReleaseBuf once fully decoded.
 	Recv() (Packet, error)
 	// Close unregisters the endpoint and unblocks Recv.
 	Close() error
@@ -44,6 +89,21 @@ type Fabric interface {
 	// Register creates an endpoint under addr. Registering an address
 	// twice is an error until the first endpoint closes.
 	Register(addr string) (Endpoint, error)
+}
+
+// ChanReceiver is an optional Endpoint extension implemented by
+// fabrics whose inbox is a Go channel. Event loops select on RecvChan
+// directly instead of dedicating a forwarder goroutine to blocking
+// Recv calls — one less goroutine handoff on every packet, which on
+// the in-process fabric is a large share of per-message cost.
+type ChanReceiver interface {
+	// RecvChan returns the endpoint's inbox. A packet read from it is
+	// owned by the reader exactly as if Recv had returned it. The
+	// channel is never closed; Closed signals shutdown instead, after
+	// which any packets still queued may be drained.
+	RecvChan() <-chan Packet
+	// Closed is closed when the endpoint closes.
+	Closed() <-chan struct{}
 }
 
 // Errors shared by fabric implementations.
@@ -128,6 +188,10 @@ type memEndpoint struct {
 
 func (e *memEndpoint) Addr() string { return e.addr }
 
+// RecvChan and Closed implement ChanReceiver.
+func (e *memEndpoint) RecvChan() <-chan Packet { return e.inbox }
+func (e *memEndpoint) Closed() <-chan struct{} { return e.done }
+
 func (e *memEndpoint) Send(to string, payload []byte) error {
 	f := e.fabric
 	f.mu.Lock()
@@ -135,18 +199,20 @@ func (e *memEndpoint) Send(to string, payload []byte) error {
 	peer := f.peers[to]
 	f.mu.Unlock()
 	if drop {
-		return nil // silently lost, like a datagram
+		ReleaseBuf(payload) // silently lost, like a datagram
+		return nil
 	}
 	if peer == nil {
+		ReleaseBuf(payload)
 		return ErrUnknownPeer
 	}
-	// Copy the payload: senders reuse buffers, receivers own packets.
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
+	// No copy: Send transfers payload ownership (package doc), so the
+	// receiver can be handed the sender's buffer directly.
 	select {
-	case peer.inbox <- Packet{From: e.addr, Payload: cp}:
+	case peer.inbox <- Packet{From: e.addr, Payload: payload}:
 		return nil
 	case <-peer.done:
+		ReleaseBuf(payload)
 		return ErrUnknownPeer
 	}
 }

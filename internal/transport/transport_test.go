@@ -78,17 +78,38 @@ func TestMemFabricCloseUnblocksRecv(t *testing.T) {
 	}
 }
 
-func TestMemFabricPayloadIsolation(t *testing.T) {
+func TestMemFabricZeroCopyOwnership(t *testing.T) {
 	f := NewMemFabric(0)
 	a, _ := f.Register("a")
 	b, _ := f.Register("b")
-	buf := []byte("abc")
+	buf := append(AcquireBuf(), "abc"...)
 	a.Send("b", buf)
-	buf[0] = 'z' // sender reuses its buffer
 	p, _ := b.Recv()
-	if !bytes.Equal(p.Payload, []byte("abc")) {
-		t.Fatalf("payload aliased sender buffer: %q", p.Payload)
+	if string(p.Payload) != "abc" {
+		t.Fatalf("payload = %q", p.Payload)
 	}
+	// Ownership transfer: memnet hands the receiver the sender's very
+	// slice instead of a copy.
+	if &p.Payload[0] != &buf[0] {
+		t.Fatal("memnet copied the payload; Send should transfer ownership")
+	}
+	ReleaseBuf(p.Payload)
+}
+
+func TestBufPoolRecycles(t *testing.T) {
+	b := append(AcquireBuf(), make([]byte, 512)...)
+	ReleaseBuf(b)
+	got := AcquireBuf()
+	if len(got) != 0 {
+		t.Fatalf("acquired buffer not empty: len %d", len(got))
+	}
+	// Not guaranteed by sync.Pool, but overwhelmingly likely in a
+	// single-goroutine test; detects a Release that loses capacity.
+	if cap(got) < 512 {
+		t.Logf("pool did not recycle (cap %d); allowed but unexpected", cap(got))
+	}
+	ReleaseBuf(got)
+	ReleaseBuf(nil) // zero-cap release must be a no-op
 }
 
 func TestMemFabricDropFunc(t *testing.T) {
@@ -209,7 +230,8 @@ func TestTCPFabricLargeAndMany(t *testing.T) {
 		big[i] = byte(i)
 	}
 	for i := 0; i < 10; i++ {
-		if err := a.Send("b", big); err != nil {
+		// Send transfers ownership, so each send gets its own copy.
+		if err := a.Send("b", append(AcquireBuf(), big...)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -278,7 +300,6 @@ func BenchmarkMemFabricRoundTrip(b *testing.B) {
 	f := NewMemFabric(0)
 	a, _ := f.Register("a")
 	dst, _ := f.Register("b")
-	payload := make([]byte, 1024)
 	go func() {
 		for {
 			p, err := dst.Recv()
@@ -288,14 +309,19 @@ func BenchmarkMemFabricRoundTrip(b *testing.B) {
 			dst.Send(p.From, p.Payload)
 		}
 	}()
+	var src [1024]byte
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := a.Send("b", payload); err != nil {
+		buf := append(AcquireBuf(), src[:]...)
+		if err := a.Send("b", buf); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := a.Recv(); err != nil {
+		p, err := a.Recv()
+		if err != nil {
 			b.Fatal(err)
 		}
+		ReleaseBuf(p.Payload)
 	}
 	b.StopTimer()
 	dst.Close()
