@@ -1,11 +1,18 @@
 #!/bin/sh
 # ci.sh — the checks a change must pass before merging:
-#   1. tier-1 gate: everything builds, every test passes
-#   2. go vet across the tree
-#   3. the concurrency-heavy packages under the race detector
+#   1. formatting: gofmt must be a no-op across the tree
+#   2. tier-1 gate: everything builds, every test passes
+#   3. go vet across the tree
+#   4. the concurrency-heavy packages under the race detector
+#      (the simulator-driven experiments are legitimately slow there,
+#      hence the generous timeout)
+#   5. bench smoke: every benchmark compiles and runs one iteration,
+#      output saved to bench.txt (uploaded as a CI artifact)
 set -ex
 
+test -z "$(gofmt -l .)"
 go build ./...
 go test ./...
 go vet ./...
-go test -race ./internal/...
+go test -race -timeout 900s ./internal/...
+go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt

@@ -11,34 +11,50 @@
 //	ringctl -nodes host0:7000 set-default 2
 //	ringctl -nodes host0:7000 describe 2
 //	ringctl -nodes host0:7000 config
+//	ringctl -http host0:8080,host1:8080 stats
+//	ringctl -http host0:8080,host1:8080 stats -watch -interval 1s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"ring/internal/client"
 	"ring/internal/core"
 	"ring/internal/proto"
+	"ring/internal/status"
 	"ring/internal/transport"
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ringctl -nodes addr[,addr...] <command> [args]")
-	fmt.Fprintln(os.Stderr, "commands: put, put-in, get, delete, move, mkmemgest, rmmemgest, set-default, describe, config")
+	fmt.Fprintln(os.Stderr, "commands: put, put-in, get, delete, move, mkmemgest, rmmemgest, set-default, describe, config, stats")
+	fmt.Fprintln(os.Stderr, "stats scrapes the -http addresses (ringd -http endpoints), not -nodes")
 	os.Exit(2)
 }
 
 func main() {
 	nodes := flag.String("nodes", "127.0.0.1:7000", "comma-separated node addresses, in ID order")
+	httpAddrs := flag.String("http", "127.0.0.1:8080", "comma-separated node HTTP status addresses (for stats)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	// stats only talks to the HTTP status endpoints — dispatch it
+	// before dialing the cluster fabric.
+	if args[0] == "stats" {
+		if err := runStats(os.Stdout, *httpAddrs, args[1:]); err != nil {
+			log.Fatalf("ringctl: %v", err)
+		}
+		return
 	}
 
 	fabric := transport.NewTCPFabric()
@@ -130,6 +146,40 @@ func main() {
 	default:
 		usage()
 	}
+}
+
+// runStats implements the stats subcommand: scrape /debug/ringvars
+// from every HTTP address, aggregate, and render — once, or on a loop
+// with -watch. Factored from main so tests can drive it.
+func runStats(w io.Writer, httpAddrs string, args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	watch := fs.Bool("watch", false, "refresh continuously")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval with -watch")
+	rounds := fs.Int("rounds", 0, "with -watch, stop after this many refreshes (0 = forever)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(httpAddrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("stats: no HTTP addresses (use -http)")
+	}
+	if *watch {
+		return status.WatchStats(w, addrs, *interval, *rounds)
+	}
+	cs, errs := status.CollectStats(addrs)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "ringctl: scrape error: %v\n", e)
+	}
+	if cs.Nodes == 0 {
+		return fmt.Errorf("stats: no nodes answered")
+	}
+	status.RenderStats(w, cs)
+	return nil
 }
 
 // parseScheme parses repR or srsK.M. The shard count s is implicit:

@@ -38,7 +38,7 @@ func main() {
 	blockSize := flag.Int("block-size", 64<<10, "SRS logical block size in bytes")
 	heartbeat := flag.Duration("heartbeat", 50*time.Millisecond, "leader heartbeat period")
 	failAfter := flag.Duration("fail-after", 250*time.Millisecond, "failure detection threshold")
-	httpAddr := flag.String("http", "", "optional HTTP monitoring address serving /status and /metrics (e.g. :8080)")
+	httpAddr := flag.String("http", "", "optional HTTP monitoring address serving /status, /metrics, /debug/ringvars and /debug/trace (e.g. :8080)")
 	flag.Parse()
 
 	addrs := strings.Split(*nodes, ",")

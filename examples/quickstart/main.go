@@ -1,14 +1,19 @@
 // Quickstart: boot the paper's 5-node deployment (3 coordinators, 2
 // redundancy nodes) with the seven memgests of Figure 3, then walk a
 // key through the API: put, get, move across resilience levels,
-// runtime memgest creation, and delete.
+// runtime memgest creation, and delete — and watch the whole thing
+// through the observability layer (/debug/ringvars + the aggregated
+// stats view behind `ringctl stats -watch`).
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"time"
 
 	"ring"
+	"ring/internal/status"
 )
 
 func main() {
@@ -28,6 +33,18 @@ func main() {
 		log.Fatal(err)
 	}
 	defer cluster.Stop()
+
+	// Expose every node's monitoring endpoints; a real deployment gets
+	// the same from `ringd -http`.
+	var statusAddrs []string
+	for id := uint32(0); id < 6; id++ { // 3 coords + 2 redundant + 1 spare
+		srv, err := cluster.ServeStatus(id, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		statusAddrs = append(statusAddrs, srv.Addr())
+	}
 
 	c, err := cluster.NewClient()
 	if err != nil {
@@ -78,4 +95,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("deleted user:42")
+
+	// Finally, watch the cluster the way an operator would: scrape and
+	// aggregate every node's /debug/ringvars a couple of times — the
+	// exact loop behind `ringctl stats -watch`.
+	fmt.Println("\ncluster stats (ringctl stats -watch):")
+	if err := status.WatchStats(os.Stdout, statusAddrs, 100*time.Millisecond, 2); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -209,7 +209,7 @@ func (p *Pipeline) submit(op func() (proto.Message, error), result func(proto.Me
 	f := &future{done: make(chan struct{})}
 	p.wg.Add(1)
 	job := func() {
-		p.inflight.Add(1)
+		Metrics.PipelineDepth.Observe(int64(p.inflight.Add(1)))
 		f.msg, f.err = op()
 		err := result(f.msg, f.err)
 		p.inflight.Add(-1)

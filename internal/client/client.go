@@ -192,6 +192,7 @@ func (c *Client) call(to string, req proto.ReqID, msg proto.Message) (proto.Mess
 	case reply := <-ch:
 		return reply, nil
 	case <-t.C:
+		Metrics.Timeouts.Inc()
 		cleanup()
 		return nil, ErrTimeout
 	case <-c.closed:
@@ -212,6 +213,7 @@ func (c *Client) reqID() proto.ReqID {
 // config) for the freshest configuration — the client-side analogue of
 // the paper's multicast re-discovery.
 func (c *Client) resolve(addrs []string) error {
+	Metrics.Resolves.Inc()
 	if addrs == nil {
 		c.mu.Lock()
 		if c.cfg != nil {
@@ -273,9 +275,11 @@ func retryStatus(s proto.Status) bool {
 
 // doKeyOp runs a key-routed request with timeout/wrong-node retry.
 func (c *Client) doKeyOp(key string, build func(proto.ReqID) proto.Message, status func(proto.Message) proto.Status) (proto.Message, error) {
+	Metrics.Requests.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
+			Metrics.Retries.Inc()
 			_ = c.resolve(nil)
 			// Brief backoff: the cluster may be mid-reconfiguration.
 			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
@@ -349,9 +353,11 @@ func (c *Client) Move(key string, mg proto.MemgestID) (proto.Version, error) {
 
 // doLeaderOp runs a leader-routed management request.
 func (c *Client) doLeaderOp(build func(proto.ReqID) proto.Message) (*proto.MemgestReply, error) {
+	Metrics.Requests.Inc()
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
+			Metrics.Retries.Inc()
 			_ = c.resolve(nil)
 			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
 		}

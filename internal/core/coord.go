@@ -3,7 +3,9 @@ package core
 import (
 	"strconv"
 	"strings"
+	"time"
 
+	"ring/internal/metrics"
 	"ring/internal/proto"
 	"ring/internal/store"
 )
@@ -110,6 +112,17 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 		n.replyStatus(replyTo, req, kind, proto.StWrongNode, 0)
 		return
 	}
+	// Count the op against its memgest only now, with routing and
+	// memgest resolution behind us: these counters promise to match an
+	// accepted workload exactly.
+	switch kind {
+	case replyPut:
+		st.met.Puts.Inc()
+	case replyDelete:
+		st.met.Deletes.Inc()
+	case replyMove:
+		st.met.Moves.Inc()
+	}
 	vol := n.volFor(shard)
 	var ver proto.Version = 1
 	if hi, ok := vol.Highest(key); ok {
@@ -186,11 +199,11 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 
 	if need == 0 {
 		// Unreliable memgests commit immediately (Rep(1,s)).
-		n.commitEntry(st, cs, key, ver, replyTo, req, kind)
+		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now)
 		return
 	}
 	cs.tracker.Open(seq, need)
-	cs.pending[seq] = &pendingCommit{key: key, version: ver, replyTo: replyTo, req: req, kind: kind}
+	cs.pending[seq] = &pendingCommit{key: key, version: ver, start: n.now, replyTo: replyTo, req: req, kind: kind}
 }
 
 // replyStatus sends the error reply appropriate for a write kind.
@@ -208,13 +221,22 @@ func (n *Node) replyStatus(replyTo string, req proto.ReqID, kind replyKind, s pr
 // commitEntry marks (key, version) committed, replies to the client,
 // answers parked requests, propagates the commit to redundancy nodes,
 // and garbage-collects superseded versions.
-func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Version, replyTo string, req proto.ReqID, kind replyKind) {
+func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Version, replyTo string, req proto.ReqID, kind replyKind, start time.Duration) {
 	e := cs.meta.Get(key, ver)
 	if e == nil {
 		return // purged concurrently (superseded before committing)
 	}
 	e.Rec.Committed = true
 	n.Stats.Commits++
+	st.met.Commits.Inc()
+	if st.info.Scheme.Kind == proto.SchemeSRS {
+		n.Metrics.CommitSRS.Observe(n.now - start)
+	} else {
+		n.Metrics.CommitRep.Observe(n.now - start)
+	}
+	if op := kind.traceOp(); op != metrics.TraceNone {
+		n.Metrics.Trace.Record(op, key, uint32(st.info.ID), uint64(ver), uint8(proto.StOK), n.now, n.now-start)
+	}
 	n.replyStatus(replyTo, req, kind, proto.StOK, ver)
 
 	// Answer gets parked on this entry (Figure 5: replies are released
@@ -391,6 +413,7 @@ func (n *Node) handleGet(from string, m *proto.Get) {
 		return
 	}
 	cs := st.coord[shard]
+	st.met.Gets.Inc()
 	if !e.Rec.Committed {
 		// Park: the reply is released when this exact version commits
 		// (Figure 5, client D).
@@ -405,6 +428,7 @@ func (n *Node) handleGet(from string, m *proto.Get) {
 // the backing SRS block on demand if it was lost in a failover.
 func (n *Node) sendValueReply(st *mgState, cs *coordShard, e *store.Entry, client string, req proto.ReqID) {
 	if e.Rec.Tombstone {
+		n.Metrics.Trace.Record(metrics.TraceGet, e.Rec.Key, uint32(st.info.ID), uint64(e.Rec.Version), uint8(proto.StNotFound), n.now, 0)
 		n.send(client, &proto.GetReply{Req: req, Status: proto.StNotFound})
 		return
 	}
@@ -427,6 +451,7 @@ func (n *Node) sendValueReply(st *mgState, cs *coordShard, e *store.Entry, clien
 			value = cs.heap.Read(e.Ext)
 		}
 	}
+	n.Metrics.Trace.Record(metrics.TraceGet, e.Rec.Key, uint32(st.info.ID), uint64(e.Rec.Version), uint8(proto.StOK), n.now, 0)
 	n.send(client, &proto.GetReply{Req: req, Status: proto.StOK, Version: e.Rec.Version, Value: value})
 }
 
@@ -535,5 +560,5 @@ func (n *Node) handleAck(mgID proto.MemgestID, shard uint32, seq proto.Seq, from
 		return
 	}
 	delete(cs.pending, seq)
-	n.commitEntry(st, cs, pc.key, pc.version, pc.replyTo, pc.req, pc.kind)
+	n.commitEntry(st, cs, pc.key, pc.version, pc.replyTo, pc.req, pc.kind, pc.start)
 }

@@ -107,6 +107,28 @@ func (h *harness) run() {
 	}
 }
 
+// tickUntil advances virtual time in steps of d until cond holds,
+// giving up after max steps. Tests assert on the protocol state they
+// actually need instead of hard-coding tick counts tuned to one
+// heartbeat configuration — the counts silently break when
+// HeartbeatEvery or FailAfter change.
+func (h *harness) tickUntil(d time.Duration, max int, cond func() bool) bool {
+	for i := 0; i < max; i++ {
+		if cond() {
+			return true
+		}
+		h.tick(d)
+	}
+	return cond()
+}
+
+// recovered reports whether a node finished recovery completely:
+// serving, with the background block/value queue drained.
+func (h *harness) recovered(id proto.NodeID) bool {
+	n := h.nodes[id]
+	return n.serving && len(n.bgQueue) == 0 && n.bgInflight == 0
+}
+
 // tick advances virtual time and fires every node's timer.
 func (h *harness) tick(d time.Duration) {
 	h.now += d
@@ -603,11 +625,8 @@ func TestCoordinatorFailover(t *testing.T) {
 	// Kill coordinator 1 (not the leader).
 	h.kill(1)
 	// Let the leader detect the failure and reconfigure.
-	for i := 0; i < 12; i++ {
-		h.tick(10 * time.Millisecond)
-	}
 	lead := h.nodes[0]
-	if lead.cfg.Epoch < 2 {
+	if !h.tickUntil(10*time.Millisecond, 100, func() bool { return lead.cfg.Epoch >= 2 }) {
 		t.Fatal("leader did not reconfigure")
 	}
 	if lead.cfg.Coords[1] == 1 {
@@ -617,12 +636,9 @@ func TestCoordinatorFailover(t *testing.T) {
 	if newCoord != 5 && newCoord != 6 {
 		t.Fatalf("unexpected replacement %d", newCoord)
 	}
-	// Give recovery time to complete (metadata + background blocks).
-	for i := 0; i < 60; i++ {
-		h.tick(10 * time.Millisecond)
-	}
-	if !h.nodes[newCoord].serving {
-		t.Fatal("replacement never finished metadata recovery")
+	// Let recovery complete (metadata + background blocks).
+	if !h.tickUntil(10*time.Millisecond, 200, func() bool { return h.recovered(newCoord) }) {
+		t.Fatal("replacement never finished recovery")
 	}
 	// Every key must still be readable with its original value.
 	for key, mg := range keys {
@@ -643,29 +659,34 @@ func TestLeaderFailover(t *testing.T) {
 	h := newHarness(t, figure3Spec())
 	h.put("lk", []byte("v"), mgREP3)
 	h.kill(0) // the leader coordinates shard 0 too
-	for i := 0; i < 30; i++ {
-		h.tick(10 * time.Millisecond)
-	}
-	// Node 1 (lowest surviving ID) must have taken leadership.
+	// Node 1 (lowest surviving ID) must take leadership.
 	n1 := h.nodes[1]
-	if !n1.IsLeader() {
+	if !h.tickUntil(10*time.Millisecond, 100, n1.IsLeader) {
 		t.Fatalf("node 1 is not leader (cfg leader = %d)", n1.cfg.Leader)
 	}
 	if n1.cfg.Coords[0] == 0 {
 		t.Fatal("dead leader still coordinates shard 0")
 	}
 	// All surviving nodes converge on the same epoch and leader.
-	for id, n := range h.nodes {
-		if h.dead[id] {
-			continue
+	converged := func() bool {
+		for id, n := range h.nodes {
+			if !h.dead[id] && n.cfg.Leader != 1 {
+				return false
+			}
 		}
-		if n.cfg.Leader != 1 {
-			t.Fatalf("node %d sees leader %d", id, n.cfg.Leader)
+		return true
+	}
+	if !h.tickUntil(10*time.Millisecond, 100, converged) {
+		for id, n := range h.nodes {
+			if !h.dead[id] && n.cfg.Leader != 1 {
+				t.Fatalf("node %d sees leader %d", id, n.cfg.Leader)
+			}
 		}
 	}
 	// Let recovery finish, then the cluster must serve again.
-	for i := 0; i < 60; i++ {
-		h.tick(10 * time.Millisecond)
+	newCoord0 := n1.cfg.Coords[0]
+	if !h.tickUntil(10*time.Millisecond, 200, func() bool { return h.recovered(newCoord0) }) {
+		t.Fatal("shard 0 replacement never finished recovery")
 	}
 	if r := h.put("lk2", []byte("w"), mgREP3); r.Status != proto.StOK {
 		t.Fatalf("put after leader failover: %v", r.Status)
@@ -679,10 +700,14 @@ func TestParityNodeFailover(t *testing.T) {
 	}
 	// Node 4 is the second redundant node: parity 1 of SRS32.
 	h.kill(4)
-	for i := 0; i < 80; i++ {
-		h.tick(10 * time.Millisecond)
-	}
 	lead := h.nodes[0]
+	rebuilt := func() bool {
+		repl := lead.cfg.Memgests[mgSRS32-1].Redundant[1]
+		return repl != 4 && h.recovered(repl)
+	}
+	if !h.tickUntil(10*time.Millisecond, 200, rebuilt) {
+		t.Fatal("dead parity node not replaced and rebuilt")
+	}
 	repl := lead.cfg.Memgests[mgSRS32-1].Redundant[1]
 	if repl == 4 {
 		t.Fatal("dead parity node not replaced")
@@ -749,14 +774,23 @@ func TestDoubleFailureRecovery(t *testing.T) {
 	}
 	h.kill(1) // coordinator of shard 1
 	h.kill(4) // redundant node: parity 1 of SRS32, replica of REP3
-	for i := 0; i < 200; i++ {
-		h.tick(10 * time.Millisecond)
-	}
-	// Both replacements must be serving.
-	for _, id := range []proto.NodeID{5, 6} {
-		if !h.nodes[id].serving {
-			t.Fatalf("replacement node %d never finished recovery", id)
+	// Both dead nodes must be replaced (idle spares are trivially
+	// "recovered", so require the reconfiguration first) and both
+	// replacements must finish recovery completely.
+	lead := h.nodes[0]
+	replaced := func() bool {
+		if lead.cfg.Coords[1] == 1 {
+			return false
 		}
+		for _, r := range lead.cfg.Memgests[mgSRS32-1].Redundant {
+			if r == 4 {
+				return false
+			}
+		}
+		return h.recovered(5) && h.recovered(6)
+	}
+	if !h.tickUntil(10*time.Millisecond, 400, replaced) {
+		t.Fatalf("double failure never fully recovered (epoch %d, coords %v)", lead.cfg.Epoch, lead.cfg.Coords)
 	}
 	// Survivable data: REP3 keys always (quorum held); SRS32 keys on
 	// shards other than 1 trivially; SRS32 keys on shard 1 lost BOTH a
@@ -773,5 +807,57 @@ func TestDoubleFailureRecovery(t *testing.T) {
 		if r := h.put(fmt.Sprintf("df-new-%d", i), []byte("post"), mgSRS32); r.Status != proto.StOK {
 			t.Fatalf("post-recovery put: %v", r.Status)
 		}
+	}
+}
+
+// TestFailoverTimingVariants runs a coordinator failover under both a
+// faster and a much slower failure detector, proving failover is
+// driven by the configured HeartbeatEvery/FailAfter rather than by
+// constants the other tests happen to match — and that the detector
+// does not fire early.
+func TestFailoverTimingVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		hb, fail time.Duration
+	}{
+		{"fast", 5 * time.Millisecond, 25 * time.Millisecond},
+		{"slow", 40 * time.Millisecond, 200 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := figure3Spec()
+			spec.Opts.HeartbeatEvery = tc.hb
+			spec.Opts.FailAfter = tc.fail
+			h := newHarness(t, spec)
+			h.put("tk", []byte("v"), mgREP3)
+			h.kill(1)
+			killedAt := h.now
+
+			// No premature detection: the last heartbeat from node 1
+			// arrived at most one heartbeat period before the kill, so
+			// the leader must not reconfigure before killedAt +
+			// FailAfter - HeartbeatEvery.
+			lead := h.nodes[0]
+			for h.now < killedAt+tc.fail-2*tc.hb {
+				h.tick(tc.hb)
+				if lead.cfg.Epoch != 1 {
+					t.Fatalf("reconfigured at %v, before FailAfter=%v elapsed", h.now-killedAt, tc.fail)
+				}
+			}
+
+			// Then detection, replacement, and full recovery.
+			if !h.tickUntil(tc.hb, 400, func() bool { return lead.cfg.Epoch >= 2 }) {
+				t.Fatal("leader never reconfigured")
+			}
+			newCoord := lead.cfg.Coords[1]
+			if newCoord == 1 {
+				t.Fatal("dead node still coordinates shard 1")
+			}
+			if !h.tickUntil(tc.hb, 400, func() bool { return h.recovered(newCoord) }) {
+				t.Fatal("replacement never finished recovery")
+			}
+			if g := h.get("tk"); g.Status != proto.StOK || string(g.Value) != "v" {
+				t.Fatalf("key after failover: %v %q", g.Status, g.Value)
+			}
+		})
 	}
 }

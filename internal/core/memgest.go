@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"ring/internal/metrics"
 	"ring/internal/proto"
 	"ring/internal/replog"
 	"ring/internal/srs"
@@ -14,6 +16,9 @@ import (
 type mgState struct {
 	info   proto.MemgestInfo
 	layout *srs.Layout // nil for Rep memgests
+	// met caches this memgest's op counters so the write/read hot path
+	// bumps them through one pointer, never a map lookup.
+	met *MemgestMetrics
 
 	// coord holds coordinator-side state for each shard this node
 	// coordinates (normally one; several after spare exhaustion or in
@@ -62,6 +67,9 @@ type coordShard struct {
 type pendingCommit struct {
 	key     string
 	version proto.Version
+	// start is the node-local time the write arrived, for the commit
+	// latency histograms.
+	start time.Duration
 	// replyTo/req/kind describe the client reply owed at commit time;
 	// kind 0 means no reply (internal write, e.g. recovery re-insert).
 	replyTo string
@@ -77,6 +85,20 @@ const (
 	replyDelete
 	replyMove
 )
+
+// traceOp maps a reply kind to its trace classification; internal
+// writes (replyNone) are not traced.
+func (k replyKind) traceOp() metrics.TraceOp {
+	switch k {
+	case replyPut:
+		return metrics.TracePut
+	case replyDelete:
+		return metrics.TraceDelete
+	case replyMove:
+		return metrics.TraceMove
+	}
+	return metrics.TraceNone
+}
 
 // replicaSet returns the redundancy nodes of a replicated memgest for
 // a shard: the first r-1 candidates from the memgest's redundant nodes
@@ -132,6 +154,7 @@ func (n *Node) newMgState(info proto.MemgestInfo) *mgState {
 	st := &mgState{
 		info:      info,
 		parityIdx: -1,
+		met:       n.Metrics.mgMetrics(info.ID),
 		coord:     make(map[uint32]*coordShard),
 		rmeta:     make(map[uint32]*store.MetaTable),
 	}
@@ -194,10 +217,11 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 		}
 	}
 
-	// Drop state for memgests that no longer exist.
+	// Drop state (and counters) for memgests that no longer exist.
 	for id := range n.mg {
 		if cfg.Memgest(id) == nil {
 			delete(n.mg, id)
+			delete(n.Metrics.mg, id)
 		}
 	}
 

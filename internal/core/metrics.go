@@ -1,0 +1,141 @@
+package core
+
+import (
+	"ring/internal/metrics"
+	"ring/internal/proto"
+)
+
+// MemgestMetrics counts client operations actually executed against one
+// memgest. Ops are counted only after routing, serving, and memgest
+// resolution succeed — a scripted workload of N puts therefore shows
+// exactly N here, never N plus redirects.
+type MemgestMetrics struct {
+	Puts    metrics.Counter
+	Gets    metrics.Counter
+	Deletes metrics.Counter
+	Moves   metrics.Counter
+	Commits metrics.Counter
+}
+
+// NodeMetrics is a node's always-on instrumentation. Counters and
+// histograms are atomic (readable by a scraper at any time); the trace
+// ring and the per-memgest map follow the node's single-threaded
+// discipline and must be read under the runner lock (Runner.Inspect).
+//
+// It deliberately lives beside, not inside, Stats: Stats is copied by
+// value in the simulator's accounting, which atomics would forbid.
+type NodeMetrics struct {
+	// Events counts state-machine message dispatches; Ticks counts
+	// timer dispatches.
+	Events metrics.Counter
+	Ticks  metrics.Counter
+	// MsgsOut and PacketsOut measure runner send coalescing: messages
+	// emitted by the state machine vs. packets actually transmitted
+	// after per-destination batching.
+	MsgsOut    metrics.Counter
+	PacketsOut metrics.Counter
+	// InboxHighWater is the largest backlog one drain pass consumed.
+	InboxHighWater metrics.MaxGauge
+	// CommitRep and CommitSRS hold commit latency (write arrival to
+	// quorum commit) split by scheme class.
+	CommitRep metrics.Histogram
+	CommitSRS metrics.Histogram
+	// RecoveryBacklog is the current background recovery queue depth
+	// (queued + in flight); it drains to zero as a failover heals.
+	RecoveryBacklog metrics.Gauge
+
+	// Trace is the per-op trace ring (runner-lock discipline).
+	Trace *metrics.TraceRing
+
+	// mg holds per-memgest op counters, maintained by installConfig so
+	// the hot path dereferences a cached pointer, never this map.
+	mg map[proto.MemgestID]*MemgestMetrics
+}
+
+func newNodeMetrics() *NodeMetrics {
+	return &NodeMetrics{
+		Trace: metrics.NewTraceRing(256),
+		mg:    make(map[proto.MemgestID]*MemgestMetrics),
+	}
+}
+
+// mgMetrics returns (creating if needed) the counters of a memgest.
+// Counters survive reconfigurations that keep the memgest alive.
+func (m *NodeMetrics) mgMetrics(id proto.MemgestID) *MemgestMetrics {
+	mm, ok := m.mg[id]
+	if !ok {
+		mm = &MemgestMetrics{}
+		m.mg[id] = mm
+	}
+	return mm
+}
+
+// MemgestOpCounts is the JSON-ready copy of one memgest's counters.
+type MemgestOpCounts struct {
+	Puts    uint64 `json:"puts"`
+	Gets    uint64 `json:"gets"`
+	Deletes uint64 `json:"deletes"`
+	Moves   uint64 `json:"moves"`
+	Commits uint64 `json:"commits"`
+}
+
+// Add accumulates another count set (for cluster-wide aggregation).
+func (c *MemgestOpCounts) Add(o MemgestOpCounts) {
+	c.Puts += o.Puts
+	c.Gets += o.Gets
+	c.Deletes += o.Deletes
+	c.Moves += o.Moves
+	c.Commits += o.Commits
+}
+
+// MetricsSnapshot is a point-in-time copy of a node's instrumentation,
+// shaped for /debug/ringvars and ringctl aggregation.
+type MetricsSnapshot struct {
+	Events          uint64                              `json:"events"`
+	Ticks           uint64                              `json:"ticks"`
+	MsgsOut         uint64                              `json:"msgs_out"`
+	PacketsOut      uint64                              `json:"packets_out"`
+	InboxHighWater  int64                               `json:"inbox_high_water"`
+	RecoveryBacklog int64                               `json:"recovery_backlog"`
+	CommitRep       metrics.HistSnapshot                `json:"commit_latency_rep"`
+	CommitSRS       metrics.HistSnapshot                `json:"commit_latency_srs"`
+	Stats           Stats                               `json:"stats"`
+	Memgests        map[proto.MemgestID]MemgestOpCounts `json:"memgests"`
+	TraceRecorded   uint64                              `json:"trace_recorded"`
+}
+
+// MetricsSnapshot copies the node's instrumentation. Like every Node
+// method it must run on the node's event goroutine or under its
+// runner's Inspect.
+func (n *Node) MetricsSnapshot() MetricsSnapshot {
+	m := n.Metrics
+	s := MetricsSnapshot{
+		Events:          m.Events.Load(),
+		Ticks:           m.Ticks.Load(),
+		MsgsOut:         m.MsgsOut.Load(),
+		PacketsOut:      m.PacketsOut.Load(),
+		InboxHighWater:  m.InboxHighWater.Load(),
+		RecoveryBacklog: m.RecoveryBacklog.Load(),
+		CommitRep:       m.CommitRep.Snapshot(),
+		CommitSRS:       m.CommitSRS.Snapshot(),
+		Stats:           n.Stats,
+		Memgests:        make(map[proto.MemgestID]MemgestOpCounts, len(m.mg)),
+		TraceRecorded:   m.Trace.Recorded(),
+	}
+	for id, mm := range m.mg {
+		s.Memgests[id] = MemgestOpCounts{
+			Puts:    mm.Puts.Load(),
+			Gets:    mm.Gets.Load(),
+			Deletes: mm.Deletes.Load(),
+			Moves:   mm.Moves.Load(),
+			Commits: mm.Commits.Load(),
+		}
+	}
+	return s
+}
+
+// TraceLast copies out the node's most recent n trace entries (same
+// calling discipline as MetricsSnapshot).
+func (n *Node) TraceLast(count int) []metrics.TraceEntry {
+	return n.Metrics.Trace.Last(count)
+}

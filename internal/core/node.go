@@ -136,6 +136,10 @@ type Node struct {
 
 	// Counters for tests and instrumentation.
 	Stats Stats
+	// Metrics is the always-on observability surface (atomic counters,
+	// latency histograms, trace ring); see NodeMetrics for the reading
+	// discipline.
+	Metrics *NodeMetrics
 }
 
 // Stats counts node activity.
@@ -216,6 +220,7 @@ func New(id proto.NodeID, cfg *proto.Config, opts Options) *Node {
 		serving:        true,
 		nextReq:        1,
 		nextMgID:       1,
+		Metrics:        newNodeMetrics(),
 	}
 	n.installConfig(cfg, true)
 	return n
@@ -257,6 +262,7 @@ func (n *Node) reqID() proto.ReqID {
 func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) []Out {
 	n.now = now
 	n.outs = n.outs[:0]
+	n.Metrics.Events.Inc()
 	switch m := msg.(type) {
 	// Client operations.
 	case *proto.Put:
@@ -327,6 +333,7 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 func (n *Node) HandleTick(now time.Duration) []Out {
 	n.now = now
 	n.outs = n.outs[:0]
+	n.Metrics.Ticks.Inc()
 	n.handleTick()
 	return n.outs
 }

@@ -257,6 +257,7 @@ func (n *Node) recoveryTick() {
 		n.bgQueue = n.bgQueue[1:]
 		n.issueBgTask(task)
 	}
+	n.Metrics.RecoveryBacklog.Set(int64(len(n.bgQueue) + n.bgInflight))
 }
 
 // requeue retries a failed background task, giving up after a bound.

@@ -117,6 +117,9 @@ func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool
 	r.mu.Lock()
 	now := time.Since(r.start)
 	r.scratch = r.scratch[:0]
+	// The channel backlog plus the packet in hand is the inbox depth
+	// this wakeup observed.
+	r.node.Metrics.InboxHighWater.Observe(int64(len(packets)) + 1)
 	for drained := 0; ; drained++ {
 		// A packet carries one message or a TBatch of several; each is
 		// run through the state machine in arrival order.
@@ -181,6 +184,8 @@ func (r *Runner) flush(outs []Out) {
 			}
 		}
 		buf := proto.AppendBatch(transport.AcquireBuf(), r.group...)
+		r.node.Metrics.MsgsOut.Add(uint64(len(r.group)))
+		r.node.Metrics.PacketsOut.Inc()
 		// Best-effort, like a datagram fabric: dead peers are the
 		// failure detector's problem, not the sender's.
 		_ = r.ep.Send(to, buf)

@@ -27,7 +27,7 @@ func TestFlushCoalescesPerDestination(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r := &Runner{ep: self}
+	r := &Runner{ep: self, node: New(0, &proto.Config{Epoch: 1}, Options{})}
 
 	outs := []Out{
 		{To: "peer/a", Msg: &proto.RepCommit{Memgest: 1, Shard: 0, Seq: 7}},
@@ -193,8 +193,15 @@ func TestFanoutOnePacketPerPeerPerEvent(t *testing.T) {
 			cl.Fabric.SetDropFunc(pc.tap)
 			put(2) // overwrite: append event + commit event (commit+purge)
 			// The client reply is flushed before the commit-event packets
-			// to the redundancy peers; give those a moment to land.
-			time.Sleep(100 * time.Millisecond)
+			// to the redundancy peers; poll until they land instead of
+			// guessing a fixed delay.
+			deadline := time.Now().Add(5 * time.Second)
+			for pc.get(coord, NodeAddr(3)) < 2 || pc.get(coord, NodeAddr(4)) < 2 {
+				if time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
 			cl.Fabric.SetDropFunc(nil)
 
 			for _, peer := range []proto.NodeID{3, 4} {

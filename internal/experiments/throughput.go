@@ -5,10 +5,27 @@ import (
 	"time"
 
 	"ring/internal/baselines"
+	"ring/internal/metrics"
 	"ring/internal/proto"
 	"ring/internal/sim"
 	"ring/internal/workload"
 )
+
+// Metrics counts work done by experiment runs, registered in the
+// process registry so a long experiment binary is observable through
+// the same /debug/ringvars document as a node.
+var Metrics struct {
+	// Completions is every OK reply counted by SaturatedThroughput
+	// across all runs in this process.
+	Completions metrics.Counter
+	// Runs is the number of saturation measurements taken.
+	Runs metrics.Counter
+}
+
+func init() {
+	metrics.Default.Register("experiments.completions", &Metrics.Completions)
+	metrics.Default.Register("experiments.runs", &Metrics.Runs)
+}
 
 // SaturatedThroughput measures the aggregate saturated request rate of
 // one memgest by offering far-over-capacity open-loop load (spread
@@ -38,29 +55,31 @@ func SaturatedThroughput(mg proto.MemgestID, mix workload.Mix, valueSize int, bu
 	// Offer ~6M req/s — far above any scheme's capacity.
 	const offered = 6e6
 	ops := gen.ConstantRate(start, offered, int(offered*burst.Seconds()))
-	done := 0
+	var done metrics.Counter
 	for _, op := range ops {
 		switch op.Kind {
 		case workload.OpGet:
 			c.GetAt(op.At, op.Key, func(_ time.Duration, r *proto.GetReply) {
 				if r.Status == proto.StOK {
-					done++
+					done.Inc()
 				}
 			})
 		case workload.OpPut:
 			c.PutAt(op.At, op.Key, op.Value, mg, func(_ time.Duration, r *proto.PutReply) {
 				if r.Status == proto.StOK {
-					done++
+					done.Inc()
 				}
 			})
 		}
 	}
 	s.RunToQuiescence()
+	Metrics.Runs.Inc()
+	Metrics.Completions.Add(done.Load())
 	elapsed := (s.Now() - start).Seconds()
 	if elapsed <= 0 {
 		return 0, fmt.Errorf("no virtual time elapsed")
 	}
-	return float64(done) / elapsed, nil
+	return float64(done.Load()) / elapsed, nil
 }
 
 // Fig9Sample is one point of the Figure 9 throughput traces.

@@ -1,0 +1,236 @@
+// Package metrics is the cluster's always-on instrumentation layer:
+// atomic counters, gauges, high-water marks, and lock-free
+// log-bucketed latency histograms, plus a registry that renders any
+// set of them as an expvar-style JSON document.
+//
+// Everything here is built for the hot path. Recording a sample is a
+// handful of uncontended atomic adds — no locks, no allocation, no
+// branches that depend on whether anyone is scraping — which is what
+// lets the put/get pipeline stay instrumented permanently instead of
+// behind a build tag. Reading is equally unceremonious: scrapers load
+// the atomics whenever they like and may observe a sample set that is
+// mid-update (count ahead of sum by one sample, say); for monitoring
+// that skew is harmless and the alternative — a lock shared with the
+// data path — is exactly what this package exists to avoid.
+package metrics
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// MetricValue implements Var.
+func (c *Counter) MetricValue() any { return c.Load() }
+
+// Gauge is an instantaneous atomic value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// MetricValue implements Var.
+func (g *Gauge) MetricValue() any { return g.Load() }
+
+// MaxGauge tracks the high-water mark of an observed quantity (queue
+// depths, pipeline occupancy). Observe is wait-free in the common case
+// where the mark does not move.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the mark to v if v exceeds it.
+func (g *MaxGauge) Observe(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// MetricValue implements Var.
+func (g *MaxGauge) MetricValue() any { return g.Load() }
+
+// histBuckets is the bucket count of a Histogram: one power-of-two
+// bucket per possible bit length of a nanosecond duration, so bucket i
+// holds samples in [2^(i-1), 2^i) ns. 64 buckets span 1ns..~584y.
+const histBuckets = 64
+
+// Histogram is a lock-free log2-bucketed latency histogram. Observe
+// costs three uncontended atomic adds and never allocates; quantiles
+// are therefore approximate (within a factor of two, the bucket
+// width), which is the right trade for an always-on hot-path
+// instrument — exact percentiles belong to offline experiments.
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[bits.Len64(ns)].Add(1)
+}
+
+// HistBucket is one populated histogram bucket: Count samples whose
+// nanosecond value was < Le (and >= the previous bucket's Le).
+type HistBucket struct {
+	Le    uint64 `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, shaped for JSON.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	SumNS   uint64       `json:"sum_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns the mean sample in nanoseconds (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0..1) in
+// nanoseconds, resolved to bucket boundaries.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen > rank {
+			return b.Le
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].Le
+}
+
+// Merge returns the union of two snapshots (bucket counts added),
+// for aggregating one histogram across nodes.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	out := HistSnapshot{Count: s.Count + o.Count, SumNS: s.SumNS + o.SumNS}
+	byLe := make(map[uint64]uint64, len(s.Buckets)+len(o.Buckets))
+	for _, b := range s.Buckets {
+		byLe[b.Le] += b.Count
+	}
+	for _, b := range o.Buckets {
+		byLe[b.Le] += b.Count
+	}
+	les := make([]uint64, 0, len(byLe))
+	for le := range byLe {
+		les = append(les, le)
+	}
+	sort.Slice(les, func(i, j int) bool { return les[i] < les[j] })
+	for _, le := range les {
+		out.Buckets = append(out.Buckets, HistBucket{Le: le, Count: byLe[le]})
+	}
+	return out
+}
+
+// Snapshot copies the histogram. The copy is internally consistent
+// only up to concurrent Observes (see the package doc).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), SumNS: h.sumNS.Load()}
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := uint64(1) << i // bucket i holds ns with bit length i => ns < 2^i
+		if i == 0 {
+			le = 1
+		}
+		s.Buckets = append(s.Buckets, HistBucket{Le: le, Count: n})
+	}
+	return s
+}
+
+// MetricValue implements Var.
+func (h *Histogram) MetricValue() any { return h.Snapshot() }
+
+// Var is anything the registry can render: its MetricValue must be
+// marshalable by encoding/json.
+type Var interface{ MetricValue() any }
+
+// Registry is a named collection of vars. Registration happens at
+// setup time under a lock; reading takes the lock only to walk the
+// name list, never blocking writers of the vars themselves.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	vars  map[string]Var
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{vars: make(map[string]Var)}
+}
+
+// Register adds (or replaces) a named var.
+func (r *Registry) Register(name string, v Var) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.vars[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.vars[name] = v
+}
+
+// Snapshot returns the current value of every registered var, keyed by
+// name — ready for json.Marshal.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	vars := make([]Var, len(names))
+	for i, n := range names {
+		vars[i] = r.vars[n]
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = vars[i].MetricValue()
+	}
+	return out
+}
+
+// Default is the process-wide registry. Subsystems with process-scoped
+// instruments (transport, client) register into it at init; per-node
+// instruments live on the node and are scraped through its runner.
+var Default = NewRegistry()

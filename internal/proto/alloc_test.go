@@ -56,8 +56,8 @@ func TestDecodeAllocs(t *testing.T) {
 		max  float64
 	}{
 		{"Put1KiB", &Put{Req: 1, Key: "bench-key", Value: make([]byte, 1024), Memgest: 2}, 3},       // struct + key + value
-		{"PutReply", &PutReply{Req: 1, Status: StOK, Version: 3}, 1},                               // struct only
-		{"RepCommit", &RepCommit{Memgest: 2, Shard: 1, Seq: 9}, 1},                                 // struct only
+		{"PutReply", &PutReply{Req: 1, Status: StOK, Version: 3}, 1},                                // struct only
+		{"RepCommit", &RepCommit{Memgest: 2, Shard: 1, Seq: 9}, 1},                                  // struct only
 		{"GetReply1KiB", &GetReply{Req: 1, Status: StOK, Version: 3, Value: make([]byte, 1024)}, 2}, // struct + value
 	}
 	for _, tc := range cases {

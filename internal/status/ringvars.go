@@ -1,0 +1,226 @@
+package status
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ring/internal/core"
+	"ring/internal/metrics"
+	"ring/internal/proto"
+)
+
+// Ringvars is the expvar-style JSON document served at
+// /debug/ringvars: the node's own instrumentation plus the
+// process-wide registry (transport, client when present).
+type Ringvars struct {
+	NodeID  proto.NodeID         `json:"node_id"`
+	Node    core.MetricsSnapshot `json:"node"`
+	Process map[string]any       `json:"process"`
+}
+
+// TraceRow is one rendered trace entry served at /debug/trace.
+type TraceRow struct {
+	Seq     uint64          `json:"seq"`
+	AtMS    float64         `json:"at_ms"`
+	DurUS   float64         `json:"dur_us"`
+	Op      string          `json:"op"`
+	Key     string          `json:"key"`
+	Memgest proto.MemgestID `json:"memgest"`
+	Version uint64          `json:"version"`
+	Status  string          `json:"status"`
+}
+
+func traceRow(e metrics.TraceEntry) TraceRow {
+	return TraceRow{
+		Seq:     e.Seq,
+		AtMS:    float64(e.At) / float64(time.Millisecond),
+		DurUS:   float64(e.Dur) / float64(time.Microsecond),
+		Op:      e.Op.String(),
+		Key:     e.KeyString(),
+		Memgest: proto.MemgestID(e.Memgest),
+		Version: e.Version,
+		Status:  proto.Status(e.Status).String(),
+	}
+}
+
+func (s *Server) handleRingvars(w http.ResponseWriter, _ *http.Request) {
+	var rv Ringvars
+	s.runner.Inspect(func(n *core.Node) {
+		rv.NodeID = n.ID()
+		rv.Node = n.MetricsSnapshot()
+	})
+	rv.Process = metrics.Default.Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rv)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	count := 0 // 0 = everything held
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad n parameter %q: want a non-negative integer", q), http.StatusBadRequest)
+			return
+		}
+		count = v
+	}
+	var entries []metrics.TraceEntry
+	s.runner.Inspect(func(n *core.Node) { entries = n.TraceLast(count) })
+	rows := make([]TraceRow, len(entries))
+	for i, e := range entries {
+		rows[i] = traceRow(e)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rows)
+}
+
+// FetchRingvars GETs one node's /debug/ringvars document. addr is the
+// node's HTTP listen address ("host:port").
+func FetchRingvars(addr string) (Ringvars, error) {
+	var rv Ringvars
+	resp, err := http.Get("http://" + addr + "/debug/ringvars")
+	if err != nil {
+		return rv, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return rv, fmt.Errorf("status: %s returned %s", addr, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rv); err != nil {
+		return rv, fmt.Errorf("status: decode ringvars from %s: %w", addr, err)
+	}
+	return rv, nil
+}
+
+// ClusterStats is the cluster-wide aggregation of per-node ringvars,
+// what `ringctl stats` renders.
+type ClusterStats struct {
+	Nodes           int
+	Events          uint64
+	MsgsOut         uint64
+	PacketsOut      uint64
+	RecoveryBacklog int64
+	Stats           core.Stats
+	Memgests        map[proto.MemgestID]core.MemgestOpCounts
+	CommitRep       metrics.HistSnapshot
+	CommitSRS       metrics.HistSnapshot
+}
+
+// Aggregate folds per-node ringvars into cluster totals.
+func Aggregate(nodes []Ringvars) ClusterStats {
+	cs := ClusterStats{Memgests: make(map[proto.MemgestID]core.MemgestOpCounts)}
+	for _, rv := range nodes {
+		cs.Nodes++
+		n := rv.Node
+		cs.Events += n.Events
+		cs.MsgsOut += n.MsgsOut
+		cs.PacketsOut += n.PacketsOut
+		cs.RecoveryBacklog += n.RecoveryBacklog
+		addStats(&cs.Stats, n.Stats)
+		for id, c := range n.Memgests {
+			agg := cs.Memgests[id]
+			agg.Add(c)
+			cs.Memgests[id] = agg
+		}
+		cs.CommitRep = cs.CommitRep.Merge(n.CommitRep)
+		cs.CommitSRS = cs.CommitSRS.Merge(n.CommitSRS)
+	}
+	return cs
+}
+
+func addStats(dst *core.Stats, s core.Stats) {
+	dst.Puts += s.Puts
+	dst.Gets += s.Gets
+	dst.Deletes += s.Deletes
+	dst.Moves += s.Moves
+	dst.Commits += s.Commits
+	dst.ParkedGets += s.ParkedGets
+	dst.ParityUpdates += s.ParityUpdates
+	dst.RepAppends += s.RepAppends
+	dst.BlocksRecovered += s.BlocksRecovered
+	dst.MetaRecovs += s.MetaRecovs
+	dst.BytesParityXor += s.BytesParityXor
+	dst.BytesWritten += s.BytesWritten
+	dst.BytesDecoded += s.BytesDecoded
+	dst.BytesMetaInstalled += s.BytesMetaInstalled
+}
+
+// RenderStats writes the `ringctl stats` text view of one aggregation.
+func RenderStats(w io.Writer, cs ClusterStats) {
+	fmt.Fprintf(w, "nodes=%d events=%d msgs_out=%d packets_out=%d recovery_backlog=%d\n",
+		cs.Nodes, cs.Events, cs.MsgsOut, cs.PacketsOut, cs.RecoveryBacklog)
+	st := cs.Stats
+	fmt.Fprintf(w, "ops: puts=%d gets=%d deletes=%d moves=%d commits=%d parked_gets=%d\n",
+		st.Puts, st.Gets, st.Deletes, st.Moves, st.Commits, st.ParkedGets)
+	ids := make([]proto.MemgestID, 0, len(cs.Memgests))
+	for id := range cs.Memgests {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		c := cs.Memgests[id]
+		fmt.Fprintf(w, "memgest %d: puts=%d gets=%d deletes=%d moves=%d commits=%d\n",
+			id, c.Puts, c.Gets, c.Deletes, c.Moves, c.Commits)
+	}
+	renderHist(w, "commit latency REP", cs.CommitRep)
+	renderHist(w, "commit latency SRS", cs.CommitSRS)
+}
+
+func renderHist(w io.Writer, name string, h metrics.HistSnapshot) {
+	if h.Count == 0 {
+		fmt.Fprintf(w, "%s: no samples\n", name)
+		return
+	}
+	fmt.Fprintf(w, "%s: n=%d mean=%s p50<=%s p99<=%s\n", name, h.Count,
+		time.Duration(h.Mean()), time.Duration(h.Quantile(0.5)), time.Duration(h.Quantile(0.99)))
+}
+
+// CollectStats fetches and aggregates ringvars from every address,
+// reporting fetch failures without aborting the whole scrape.
+func CollectStats(addrs []string) (ClusterStats, []error) {
+	var nodes []Ringvars
+	var errs []error
+	for _, a := range addrs {
+		rv, err := FetchRingvars(a)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		nodes = append(nodes, rv)
+	}
+	return Aggregate(nodes), errs
+}
+
+// WatchStats renders cluster stats every interval for rounds
+// iterations (rounds <= 0 repeats until w errors — in practice,
+// forever for a terminal). It is the engine behind
+// `ringctl stats -watch`.
+func WatchStats(w io.Writer, addrs []string, interval time.Duration, rounds int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	for i := 0; rounds <= 0 || i < rounds; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cs, errs := CollectStats(addrs)
+		if _, err := fmt.Fprintf(w, "--- %s (%d/%d nodes answered)\n",
+			time.Now().Format("15:04:05"), cs.Nodes, len(addrs)); err != nil {
+			return err
+		}
+		for _, e := range errs {
+			fmt.Fprintf(w, "  scrape error: %v\n", e)
+		}
+		RenderStats(w, cs)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package status
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ring/internal/client"
+	"ring/internal/core"
+	"ring/internal/metrics"
+	"ring/internal/proto"
+)
+
+// startObservedCluster boots a cluster with a status server on every
+// node and returns the scrape addresses.
+func startObservedCluster(t *testing.T, spec core.ClusterSpec) (*core.Cluster, []string) {
+	t.Helper()
+	cl, err := core.StartCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Stop)
+	var addrs []string
+	for id := proto.NodeID(0); int(id) < len(cl.Runs); id++ {
+		srv, err := Serve(cl.Runs[id], "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+	return cl, addrs
+}
+
+// TestRingvarsAggregateExactCounts runs a scripted workload against a
+// live cluster, scrapes /debug/ringvars from every node, and checks
+// the aggregated counters reproduce the workload exactly — the
+// contract that makes the observability layer trustworthy.
+func TestRingvarsAggregateExactCounts(t *testing.T) {
+	cl, addrs := startObservedCluster(t, core.ClusterSpec{
+		Shards: 3, Redundant: 2,
+		Memgests: []proto.Scheme{proto.Rep(3, 3), proto.SRS(3, 2, 3)},
+	})
+
+	c, err := client.Dial(cl.Fabric, []string{core.NodeAddr(0)}, client.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// The scripted workload: 6 puts into the Rep memgest, 4 into the
+	// SRS memgest, 5 gets, 1 delete from each memgest.
+	for i := 0; i < 6; i++ {
+		if _, err := c.PutIn(fmt.Sprintf("rep-%d", i), []byte("replicated"), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.PutIn(fmt.Sprintf("srs-%d", i), []byte("erasure-coded-value"), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := c.Get(fmt.Sprintf("rep-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete("rep-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("srs-0"); err != nil {
+		t.Fatal(err)
+	}
+
+	cs, errs := CollectStats(addrs)
+	if len(errs) != 0 {
+		t.Fatalf("scrape errors: %v", errs)
+	}
+	if cs.Nodes != len(addrs) {
+		t.Fatalf("aggregated %d of %d nodes", cs.Nodes, len(addrs))
+	}
+	if cs.Stats.Puts != 10 || cs.Stats.Gets != 5 || cs.Stats.Deletes != 2 {
+		t.Fatalf("cluster ops: puts=%d gets=%d deletes=%d", cs.Stats.Puts, cs.Stats.Gets, cs.Stats.Deletes)
+	}
+	if cs.Stats.Commits != 12 {
+		t.Fatalf("cluster commits = %d, want 12", cs.Stats.Commits)
+	}
+	mg1, mg2 := cs.Memgests[1], cs.Memgests[2]
+	if mg1.Puts != 6 || mg1.Gets != 5 || mg1.Deletes != 1 || mg1.Commits != 7 {
+		t.Fatalf("memgest 1 counts: %+v", mg1)
+	}
+	if mg2.Puts != 4 || mg2.Gets != 0 || mg2.Deletes != 1 || mg2.Commits != 5 {
+		t.Fatalf("memgest 2 counts: %+v", mg2)
+	}
+	// Commit latency histograms split by scheme kind, one sample per
+	// commit: 7 Rep (6 puts + 1 delete), 5 SRS.
+	if cs.CommitRep.Count != 7 || cs.CommitSRS.Count != 5 {
+		t.Fatalf("commit latency samples: rep=%d srs=%d", cs.CommitRep.Count, cs.CommitSRS.Count)
+	}
+	var bucketSum uint64
+	for _, b := range cs.CommitRep.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != cs.CommitRep.Count {
+		t.Fatalf("rep histogram buckets sum to %d, count %d", bucketSum, cs.CommitRep.Count)
+	}
+
+	// The rendered view carries the same numbers.
+	var buf bytes.Buffer
+	RenderStats(&buf, cs)
+	out := buf.String()
+	for _, want := range []string{
+		"ops: puts=10 gets=5 deletes=2",
+		"memgest 1: puts=6 gets=5 deletes=1",
+		"memgest 2: puts=4 gets=0 deletes=1",
+		"commit latency REP: n=7",
+		"commit latency SRS: n=5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// Watch mode renders one block per round.
+	buf.Reset()
+	if err := WatchStats(&buf, addrs, time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "--- "); got != 2 {
+		t.Fatalf("watch rendered %d rounds, want 2:\n%s", got, buf.String())
+	}
+}
+
+// TestTraceEndpoint drives /debug/trace: recent operations come back
+// newest-last with rendered op names, the n parameter truncates, and
+// malformed values are a client error, not a panic.
+func TestTraceEndpoint(t *testing.T) {
+	cl, addrs := startObservedCluster(t, core.ClusterSpec{
+		Shards: 1, Redundant: 0,
+		Memgests: []proto.Scheme{proto.Rep(1, 1)},
+	})
+
+	c, err := client.Dial(cl.Fabric, []string{core.NodeAddr(0)}, client.Options{Timeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Put(fmt.Sprintf("k-%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get("k-3"); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addrs[0] + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/trace?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("trace returned %d: %s", code, body)
+	}
+	if got := strings.Count(body, `"seq"`); got != 2 {
+		t.Fatalf("trace n=2 returned %d rows:\n%s", got, body)
+	}
+	// The newest entry is the get of k-3.
+	if !strings.Contains(body, `"op": "get"`) || !strings.Contains(body, `"key": "k-3"`) {
+		t.Fatalf("trace rows:\n%s", body)
+	}
+
+	for _, bad := range []string{"/debug/trace?n=zebra", "/debug/trace?n=-1"} {
+		code, body := get(bad)
+		if code != http.StatusBadRequest {
+			t.Fatalf("%s returned %d, want 400: %s", bad, code, body)
+		}
+	}
+}
+
+// TestTraceRowUnknownStatus pins the rendering of status codes the
+// binary does not know (e.g. scraping a newer node): a stable
+// placeholder, not a crash or an empty string.
+func TestTraceRowUnknownStatus(t *testing.T) {
+	row := traceRow(metrics.TraceEntry{Op: metrics.TraceGet, Status: 250})
+	if row.Status != "status(250)" {
+		t.Fatalf("unknown status rendered as %q", row.Status)
+	}
+	if row.Op != "get" {
+		t.Fatalf("op rendered as %q", row.Op)
+	}
+}

@@ -1,6 +1,10 @@
 // Package status exposes a node's operational state over HTTP for
-// monitoring: a JSON snapshot at /status and Prometheus-style text
-// metrics at /metrics. ringd serves it with the -http flag.
+// monitoring: a JSON snapshot at /status, Prometheus-style text
+// metrics at /metrics, the full instrumentation document at
+// /debug/ringvars (per-memgest op counters, commit-latency
+// histograms, transport/client counters), and the most recent
+// operations at /debug/trace. ringd serves it with the -http flag;
+// `ringctl stats` scrapes and aggregates it cluster-wide.
 package status
 
 import (
@@ -74,6 +78,8 @@ func Serve(r *core.Runner, addr string) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/ringvars", s.handleRingvars)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
 	s.srv = &http.Server{Handler: mux}
 	go s.srv.Serve(ln)
 	return s, nil

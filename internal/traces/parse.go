@@ -1,0 +1,71 @@
+package traces
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseStatsLine parses one CSV record of trace aggregates:
+//
+//	name,requests,write_frac,avg_req_bytes,footprint_bytes,duration_hours
+//
+// mirroring the fields of Stats. It rejects malformed records with an
+// error naming the offending field, so a typo'd trace file fails
+// loudly instead of silently pricing garbage.
+func ParseStatsLine(line string) (Stats, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 6 {
+		return Stats{}, fmt.Errorf("traces: want 6 fields, got %d in %q", len(fields), line)
+	}
+	for i, f := range fields {
+		fields[i] = strings.TrimSpace(f)
+	}
+	var s Stats
+	s.Name = fields[0]
+	if s.Name == "" {
+		return Stats{}, fmt.Errorf("traces: empty name in %q", line)
+	}
+	var err error
+	if s.Requests, err = strconv.Atoi(fields[1]); err != nil || s.Requests <= 0 {
+		return Stats{}, fmt.Errorf("traces: bad requests %q (want positive integer)", fields[1])
+	}
+	if s.WriteFrac, err = strconv.ParseFloat(fields[2], 64); err != nil || s.WriteFrac < 0 || s.WriteFrac > 1 {
+		return Stats{}, fmt.Errorf("traces: bad write_frac %q (want 0..1)", fields[2])
+	}
+	if s.AvgReqBytes, err = strconv.Atoi(fields[3]); err != nil || s.AvgReqBytes <= 0 {
+		return Stats{}, fmt.Errorf("traces: bad avg_req_bytes %q (want positive integer)", fields[3])
+	}
+	if s.FootprintBytes, err = strconv.ParseInt(fields[4], 10, 64); err != nil || s.FootprintBytes <= 0 {
+		return Stats{}, fmt.Errorf("traces: bad footprint_bytes %q (want positive integer)", fields[4])
+	}
+	if s.DurationHours, err = strconv.ParseFloat(fields[5], 64); err != nil || s.DurationHours <= 0 {
+		return Stats{}, fmt.Errorf("traces: bad duration_hours %q (want positive number)", fields[5])
+	}
+	return s, nil
+}
+
+// ParseStats reads a whole trace-statistics file: one CSV record per
+// line, blank lines and #-comments skipped. Errors carry the 1-based
+// line number.
+func ParseStats(r io.Reader) ([]Stats, error) {
+	var out []Stats
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := ParseStatsLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

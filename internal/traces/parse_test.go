@@ -1,0 +1,63 @@
+package traces
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStatsRoundTrip(t *testing.T) {
+	input := `# the two financial traces of Figure 10
+Financial1,5334987,0.768,3700,18253611008,12.1
+
+Financial2,3699194,0.176,2600,8589934592,11.5
+`
+	got, err := ParseStats(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d traces, want 2", len(got))
+	}
+	if got[0] != Financial1 {
+		t.Fatalf("Financial1 round trip: %+v != %+v", got[0], Financial1)
+	}
+	if got[1] != Financial2 {
+		t.Fatalf("Financial2 round trip: %+v != %+v", got[1], Financial2)
+	}
+}
+
+func TestParseStatsLineErrors(t *testing.T) {
+	cases := []struct {
+		line string
+		want string // substring of the error
+	}{
+		{"justaname", "want 6 fields"},
+		{"a,1,0.5,100,1000,1.0,extra", "want 6 fields"},
+		{",1,0.5,100,1000,1.0", "empty name"},
+		{"t,zero,0.5,100,1000,1.0", "bad requests"},
+		{"t,-5,0.5,100,1000,1.0", "bad requests"},
+		{"t,1,1.5,100,1000,1.0", "bad write_frac"},
+		{"t,1,frac,100,1000,1.0", "bad write_frac"},
+		{"t,1,0.5,0,1000,1.0", "bad avg_req_bytes"},
+		{"t,1,0.5,100,huge,1.0", "bad footprint_bytes"},
+		{"t,1,0.5,100,1000,0", "bad duration_hours"},
+	}
+	for _, c := range cases {
+		if _, err := ParseStatsLine(c.line); err == nil {
+			t.Errorf("ParseStatsLine(%q) accepted", c.line)
+		} else if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseStatsLine(%q) error %q, want substring %q", c.line, err, c.want)
+		}
+	}
+}
+
+func TestParseStatsReportsLineNumber(t *testing.T) {
+	input := "# header\nFinancial1,5334987,0.768,3700,18253611008,12.1\nbroken line\n"
+	_, err := ParseStats(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}

@@ -1,0 +1,67 @@
+package transport
+
+import "testing"
+
+// TestSendCountersMove checks the transport instruments track sends,
+// drops, and failures on the memnet fabric. Counters are process-wide,
+// so assertions are on deltas.
+func TestSendCountersMove(t *testing.T) {
+	f := NewMemFabric(0)
+	a, err := f.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	defer b.Close()
+
+	pkts0 := Metrics.PacketsSent.Load()
+	bytes0 := Metrics.BytesSent.Load()
+	recv0 := Metrics.PacketsRecv.Load()
+	drops0 := Metrics.Drops.Load()
+	errs0 := Metrics.SendErrors.Load()
+
+	payload := []byte("hello-metrics")
+	if err := a.Send("b", append([]byte(nil), payload...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Metrics.PacketsSent.Load() - pkts0; got != 1 {
+		t.Fatalf("packets sent delta = %d", got)
+	}
+	if got := Metrics.BytesSent.Load() - bytes0; got != uint64(len(payload)) {
+		t.Fatalf("bytes sent delta = %d", got)
+	}
+	if got := Metrics.PacketsRecv.Load() - recv0; got != 1 {
+		t.Fatalf("packets recv delta = %d", got)
+	}
+
+	// An injected drop counts as a drop, not a send.
+	f.SetDropFunc(func(from, to string) bool { return true })
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDropFunc(nil)
+	if got := Metrics.Drops.Load() - drops0; got != 1 {
+		t.Fatalf("drops delta = %d", got)
+	}
+	if got := Metrics.PacketsSent.Load() - pkts0; got != 1 {
+		t.Fatalf("dropped packet counted as sent: delta = %d", got)
+	}
+
+	// Unknown peers count as send errors.
+	if err := a.Send("nobody", []byte("x")); err == nil {
+		t.Fatal("send to unknown peer succeeded")
+	}
+	if got := Metrics.SendErrors.Load() - errs0; got != 1 {
+		t.Fatalf("send errors delta = %d", got)
+	}
+	if got := Metrics.InboxHighWater.Load(); got < 1 {
+		t.Fatalf("inbox high water = %d", got)
+	}
+}

@@ -135,6 +135,7 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 		e.mu.Unlock()
 		select {
 		case e.inbox <- Packet{From: from, Payload: payload}:
+			countRecv(payload, len(e.inbox))
 		case <-e.done:
 			return
 		}
@@ -182,6 +183,7 @@ func (e *tcpEndpoint) Send(to string, payload []byte) error {
 	if c == nil {
 		nc, err := net.Dial("tcp", e.fabric.lookup(to))
 		if err != nil {
+			Metrics.SendErrors.Inc()
 			return fmt.Errorf("%w: %s (%v)", ErrUnknownPeer, to, err)
 		}
 		e.mu.Lock()
@@ -199,6 +201,11 @@ func (e *tcpEndpoint) Send(to string, payload []byte) error {
 		e.mu.Unlock()
 	}
 	err := writeFrame(c, e.addr, payload)
+	if err == nil {
+		countSend(payload)
+	} else {
+		Metrics.SendErrors.Inc()
+	}
 	// The frame write staged its own copy; the caller's payload is
 	// transport-owned now (package ownership contract) and can be
 	// recycled either way.

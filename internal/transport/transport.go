@@ -199,19 +199,24 @@ func (e *memEndpoint) Send(to string, payload []byte) error {
 	peer := f.peers[to]
 	f.mu.Unlock()
 	if drop {
+		Metrics.Drops.Inc()
 		ReleaseBuf(payload) // silently lost, like a datagram
 		return nil
 	}
 	if peer == nil {
+		Metrics.SendErrors.Inc()
 		ReleaseBuf(payload)
 		return ErrUnknownPeer
 	}
+	countSend(payload)
 	// No copy: Send transfers payload ownership (package doc), so the
 	// receiver can be handed the sender's buffer directly.
 	select {
 	case peer.inbox <- Packet{From: e.addr, Payload: payload}:
+		countRecv(payload, len(peer.inbox))
 		return nil
 	case <-peer.done:
+		Metrics.SendErrors.Inc()
 		ReleaseBuf(payload)
 		return ErrUnknownPeer
 	}

@@ -29,11 +29,13 @@
 package ring
 
 import (
+	"fmt"
 	"time"
 
 	"ring/internal/client"
 	"ring/internal/core"
 	"ring/internal/proto"
+	"ring/internal/status"
 )
 
 // Scheme describes a storage scheme (memgest descriptor).
@@ -120,6 +122,22 @@ func (c *Cluster) Stop() { c.inner.Stop() }
 // promote a spare. Node IDs are assigned 0..s+d+n-1 in role order
 // (coordinators, redundant, spares).
 func (c *Cluster) KillNode(id uint32) { c.inner.Kill(proto.NodeID(id)) }
+
+// StatusServer serves one node's monitoring endpoints over HTTP:
+// /status, /metrics, /debug/ringvars, and /debug/trace.
+type StatusServer = status.Server
+
+// ServeStatus starts the monitoring endpoints for one node of the
+// embedded cluster on addr ("127.0.0.1:0" picks a free port; the
+// server's Addr reports it). `ringctl stats -http <addr,...>` can then
+// aggregate the cluster.
+func (c *Cluster) ServeStatus(nodeID uint32, addr string) (*StatusServer, error) {
+	r, ok := c.inner.Runs[proto.NodeID(nodeID)]
+	if !ok {
+		return nil, fmt.Errorf("ring: no node %d", nodeID)
+	}
+	return status.Serve(r, addr)
+}
 
 // NewClient connects a client to the embedded cluster.
 func (c *Cluster) NewClient() (*Client, error) {
