@@ -3,16 +3,48 @@
 #   1. formatting: gofmt must be a no-op across the tree
 #   2. tier-1 gate: everything builds, every test passes
 #   3. go vet across the tree
-#   4. the concurrency-heavy packages under the race detector
+#   4. ringlint: the project-specific analyzers (internal/lint) over
+#      the whole tree — hot-path allocation, sim determinism, sleepy
+#      tests, atomic-field discipline, wire-protocol pairing. Any
+#      finding fails the build; exemptions are //ring: directives in
+#      the source, where review can see them.
+#   5. external static analysis, version-pinned: staticcheck and
+#      govulncheck. Both run via `go run tool@version`, so they need
+#      module-proxy access; offline runs skip them with a warning
+#      while CI (which always has network) enforces them.
+#   6. fuzz smoke: each fuzz target runs for 10s — long enough to
+#      catch a round-trip regression, short enough for every push
+#   7. the concurrency-heavy packages under the race detector
 #      (the simulator-driven experiments are legitimately slow there,
 #      hence the generous timeout)
-#   5. bench smoke: every benchmark compiles and runs one iteration,
+#   8. bench smoke: every benchmark compiles and runs one iteration,
 #      output saved to bench.txt (uploaded as a CI artifact)
 set -ex
+
+# Version pins for the external analyzers. CI caches on these; bump
+# deliberately.
+STATICCHECK_VERSION=2024.1.1
+GOVULNCHECK_VERSION=v1.1.3
 
 test -z "$(gofmt -l .)"
 go build ./...
 go test ./...
 go vet ./...
+
+go build -o bin/ringlint ./cmd/ringlint
+./bin/ringlint ./...
+
+# External analyzers: enforced whenever the module proxy is reachable
+# (always true in CI), skipped with a loud warning when offline.
+if go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" -version >/dev/null 2>&1; then
+    go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
+    go run "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
+else
+    echo "WARNING: module proxy unreachable; skipping staticcheck + govulncheck (CI enforces them)" >&2
+fi
+
+go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
+go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
+
 go test -race -timeout 900s ./internal/...
 go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt

@@ -10,6 +10,7 @@ import (
 
 	"ring/internal/core"
 	"ring/internal/proto"
+	"ring/internal/testutil"
 )
 
 func testSpec() core.ClusterSpec {
@@ -229,17 +230,13 @@ func TestLiveCoordinatorFailover(t *testing.T) {
 	// Kill a non-leader coordinator.
 	cl.Kill(1)
 	// Wait for reconfiguration to propagate.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			t.Fatal("cluster never reconfigured")
-		}
+	reconfigured := testutil.Eventually(10*time.Second, 20*time.Millisecond, func() bool {
 		var epoch proto.Epoch
 		cl.Runs[0].Inspect(func(n *core.Node) { epoch = n.Config().Epoch })
-		if epoch >= 2 {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
+		return epoch >= 2
+	})
+	if !reconfigured {
+		t.Fatal("cluster never reconfigured")
 	}
 	// All keys must be readable post-failover (client retries ride out
 	// the recovery window).
@@ -261,18 +258,14 @@ func TestLiveLeaderFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl.Kill(0)
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			t.Fatal("no new leader")
-		}
+	failedOver := testutil.Eventually(10*time.Second, 20*time.Millisecond, func() bool {
 		var lead proto.NodeID
 		var serving bool
 		cl.Runs[1].Inspect(func(n *core.Node) { lead = n.Config().Leader; serving = n.Serving() })
-		if lead == 1 && serving {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
+		return lead == 1 && serving
+	})
+	if !failedOver {
+		t.Fatal("no new leader")
 	}
 	got, _, err := c.Get("lk")
 	if err != nil || string(got) != "v" {

@@ -8,6 +8,7 @@ import (
 
 	"ring/internal/core"
 	"ring/internal/proto"
+	"ring/internal/testutil"
 	"ring/internal/transport"
 )
 
@@ -103,17 +104,13 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	// Crash a coordinator; the spare takes over and data survives.
 	runners[2].Stop()
 	delete(runners, 2)
-	deadline := time.Now().Add(15 * time.Second)
-	for {
-		if time.Now().After(deadline) {
-			t.Fatal("no reconfiguration over TCP")
-		}
+	reconfigured := testutil.Eventually(15*time.Second, 30*time.Millisecond, func() bool {
 		var epoch proto.Epoch
 		runners[0].Inspect(func(n *core.Node) { epoch = n.Config().Epoch })
-		if epoch >= 2 {
-			break
-		}
-		time.Sleep(30 * time.Millisecond)
+		return epoch >= 2
+	})
+	if !reconfigured {
+		t.Fatal("no reconfiguration over TCP")
 	}
 	for i := 0; i < 12; i++ {
 		got, _, err := c.Get(fmt.Sprintf("tcp-%d", i))

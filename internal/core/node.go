@@ -259,6 +259,8 @@ func (n *Node) reqID() proto.ReqID {
 // HandleMessage processes one incoming message at the given node-local
 // time and returns the messages to transmit. `from` is the fabric
 // address of the sender.
+//
+//ring:hotpath-stop the Node state machine is bounded by its own rules (simdeterminism), not the zero-alloc budget
 func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) []Out {
 	n.now = now
 	n.outs = n.outs[:0]
@@ -330,6 +332,8 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 
 // HandleTick drives time-based behaviour (heartbeats, failure
 // detection, background recovery).
+//
+//ring:hotpath-stop the Node state machine is bounded by its own rules (simdeterminism), not the zero-alloc budget
 func (n *Node) HandleTick(now time.Duration) []Out {
 	n.now = now
 	n.outs = n.outs[:0]

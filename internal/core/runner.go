@@ -32,6 +32,8 @@ type Runner struct {
 
 // StartRunner registers the node's endpoint on the fabric and starts
 // its event loop. tickEvery <= 0 selects 10ms.
+//
+//ring:wallclock the Runner is the deliberate real-time boundary hosting the event-driven node
 func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Runner, error) {
 	if tickEvery <= 0 {
 		tickEvery = 10 * time.Millisecond
@@ -77,6 +79,8 @@ func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Ru
 // loop is the node's event loop. packets either closes on shutdown
 // (forwarder path) or stays open with epClosed signalling shutdown
 // (ChanReceiver path); a nil epClosed never fires.
+//
+//ring:wallclock real-time ticker driving the node's virtual clock
 func (r *Runner) loop(packets <-chan transport.Packet, epClosed <-chan struct{}) {
 	defer close(r.done)
 	ticker := time.NewTicker(r.ticks)
@@ -112,6 +116,9 @@ const maxDrain = 64
 // coordinator that finds several acks queued emits the commit fan-out
 // and the client replies they unlock as single per-peer sends. It
 // returns false once the packet channel has closed.
+//
+//ring:hotpath
+//ring:wallclock converts wall time to the node's event clock
 func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool {
 	open := true
 	r.mu.Lock()
@@ -154,6 +161,11 @@ func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool
 	return open
 }
 
+// dispatch runs one state-machine step under the lock and flushes the
+// outputs outside it.
+//
+//ring:hotpath
+//ring:wallclock converts wall time to the node's event clock
 func (r *Runner) dispatch(f func(time.Duration) []Out) {
 	r.mu.Lock()
 	outs := f(time.Since(r.start))
@@ -170,6 +182,8 @@ func (r *Runner) dispatch(f func(time.Duration) []Out) {
 // of posting back-to-back verbs with a single doorbell. Message order
 // per destination is preserved; entries are cleared afterwards so the
 // scratch slice does not pin messages.
+//
+//ring:hotpath
 func (r *Runner) flush(outs []Out) {
 	for i := range outs {
 		if outs[i].To == "" {

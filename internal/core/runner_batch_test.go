@@ -7,6 +7,7 @@ import (
 
 	"ring/internal/proto"
 	"ring/internal/store"
+	"ring/internal/testutil"
 	"ring/internal/transport"
 )
 
@@ -194,14 +195,11 @@ func TestFanoutOnePacketPerPeerPerEvent(t *testing.T) {
 			put(2) // overwrite: append event + commit event (commit+purge)
 			// The client reply is flushed before the commit-event packets
 			// to the redundancy peers; poll until they land instead of
-			// guessing a fixed delay.
-			deadline := time.Now().Add(5 * time.Second)
-			for pc.get(coord, NodeAddr(3)) < 2 || pc.get(coord, NodeAddr(4)) < 2 {
-				if time.Now().After(deadline) {
-					break
-				}
-				time.Sleep(time.Millisecond)
-			}
+			// guessing a fixed delay. A timeout falls through to the
+			// exact-count assertions below, which report the shortfall.
+			testutil.Eventually(5*time.Second, time.Millisecond, func() bool {
+				return pc.get(coord, NodeAddr(3)) >= 2 && pc.get(coord, NodeAddr(4)) >= 2
+			})
 			cl.Fabric.SetDropFunc(nil)
 
 			for _, peer := range []proto.NodeID{3, 4} {

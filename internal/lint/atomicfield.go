@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// atomicFns are the sync/atomic package-level functions whose first
+// argument addresses the word they operate on.
+var atomicFns = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, ty := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicFns[op+ty] = true
+		}
+	}
+}
+
+// AtomicField enforces all-or-nothing atomicity per struct field: a
+// field passed to a sync/atomic function anywhere in the package must
+// be accessed through sync/atomic everywhere in it (test files
+// included). A single plain load next to atomic stores is a data race
+// that -race only reports on the interleavings a run happens to
+// execute; this catches it on every path, statically.
+//
+// Initialization inside a composite literal is exempt (the value is
+// not shared yet), and a justified plain access — a constructor
+// filling fields before publication — carries //ring:nonatomic on its
+// line or enclosing function. Fields of the atomic.Int64/Uint64/...
+// wrapper types need no analysis: their only access path is atomic.
+//
+// The check is per package, which matches reality here: a field
+// shared across packages is exported, and Ring's counters all live
+// behind the typed wrappers in internal/metrics.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere (//ring:nonatomic to justify pre-publication access)",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Phase 1: find fields used atomically, remembering the selector
+	// nodes inside atomic calls so phase 2 does not re-flag them.
+	atomicFields := map[types.Object]string{} // field -> example atomic fn
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := calleeFromPkg(pass.Info, call, "sync/atomic")
+			if !ok || !atomicFns[name] || len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := call.Args[0].(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := addr.X.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj := fieldOf(pass, sel); obj != nil {
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = "atomic." + name
+				}
+				inAtomicCall[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other access to those fields must be atomic.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			obj := fieldOf(pass, sel)
+			if obj == nil {
+				return true
+			}
+			fn, isAtomic := atomicFields[obj]
+			if !isAtomic {
+				return true
+			}
+			if pass.lineDirective(sel.Pos(), "nonatomic") || enclosingFuncHasDirective(pass, sel.Pos(), "nonatomic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed with %s elsewhere in this package (use sync/atomic everywhere; //ring:nonatomic for pre-publication init)", obj.Name(), fn)
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldOf resolves a selector to the struct field it denotes, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) types.Object {
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// TB is the subset of testing.TB the fixture harness needs, kept as a
+// local interface so this package does not import testing outside its
+// own tests.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+// want patterns are written as Go string literals, double- or
+// back-quoted: // want "regexp" `regexp`
+const quotedRe = `"(?:[^"\\]|\\.)*"|` + "`[^`]*`"
+
+var (
+	wantRe   = regexp.MustCompile(`//\s*want((?:\s+(?:` + quotedRe + `))+)\s*$`)
+	quotedRx = regexp.MustCompile(quotedRe)
+)
+
+// RunFixture loads the fixture package in dir under the given import
+// path, runs a single analyzer over it, and matches the diagnostics
+// against `// want "regexp"` comments in the fixture sources, in the
+// style of golang.org/x/tools' analysistest: every diagnostic must
+// match a want on its line, and every want must be satisfied.
+func RunFixture(t TB, a *Analyzer, dir, pkgPath string) {
+	t.Helper()
+	pkg, err := LoadDir(dir, pkgPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	for _, err := range pkg.TypeErrors {
+		t.Fatalf("fixture %s does not type-check: %v", dir, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		re   *regexp.Regexp
+		used bool
+	}
+	wants := map[string][]*want{} // "file:line" -> wants
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRx.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SleepyTest bans bare time.Sleep (and its disguise, a bare
+// <-time.After(d) statement) from _test.go files. Sleeping for a guess
+// at "long enough" is the flake class the tickUntil/poll helpers
+// eradicated: on a loaded CI machine the guess is wrong, and on a fast
+// one it wastes wall-clock. Poll a condition instead —
+// testutil.Eventually for live clusters, harness tickUntil for
+// virtual-time tests. A genuinely justified sleep carries
+// //ring:sleepok with its justification, either on the enclosing
+// function's doc comment or trailing on the sleep line.
+//
+// select statements that include a time.After case are untouched:
+// bounding a legitimate wait with a timeout is the correct pattern.
+var SleepyTest = &Analyzer{
+	Name: "sleepytest",
+	Doc:  "no bare time.Sleep in _test.go files (poll with testutil.Eventually or tickUntil; //ring:sleepok to justify)",
+	Run:  runSleepyTest,
+}
+
+func runSleepyTest(pass *Pass) error {
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f) {
+			continue
+		}
+		walkStack(f, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if _, ok := calleeFromPkg(pass.Info, n, "time", "Sleep"); ok {
+					reportSleep(pass, n, "bare time.Sleep in test")
+				}
+			case *ast.ExprStmt:
+				// <-time.After(d) as a standalone statement is a sleep
+				// with extra steps. The same ExprStmt as a select
+				// CommClause's comm is a timeout bound and stays legal.
+				if len(stack) > 0 {
+					if _, ok := stack[len(stack)-1].(*ast.CommClause); ok {
+						return true
+					}
+				}
+				if recv, ok := n.X.(*ast.UnaryExpr); ok {
+					if call, ok := recv.X.(*ast.CallExpr); ok {
+						if _, ok := calleeFromPkg(pass.Info, call, "time", "After"); ok {
+							reportSleep(pass, call, "bare <-time.After in test")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportSleep(pass *Pass, n ast.Node, what string) {
+	if pass.lineDirective(n.Pos(), "sleepok") || enclosingFuncHasDirective(pass, n.Pos(), "sleepok") {
+		return
+	}
+	pass.Reportf(n.Pos(), "%s: poll a condition (testutil.Eventually, harness tickUntil) instead of guessing a delay; //ring:sleepok to justify", what)
+}

@@ -1,0 +1,49 @@
+// Package atomicfield is the fixture for the atomicfield analyzer.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	sent     uint64 // accessed atomically somewhere: must be everywhere
+	recv     uint64
+	plain    int // never touched atomically: free
+	shutdown int32
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.sent, 1)
+	atomic.AddUint64(&c.recv, 1)
+	atomic.StoreInt32(&c.shutdown, 1)
+	c.plain++ // fine: never atomic
+}
+
+func (c *counters) read() (uint64, uint64) {
+	s := c.sent // want `non-atomic access to field sent`
+	r := atomic.LoadUint64(&c.recv)
+	return s, r
+}
+
+func (c *counters) mixed() {
+	if c.shutdown == 1 { // want `non-atomic access to field shutdown`
+		return
+	}
+}
+
+// newCounters fills fields before the value is shared.
+func newCounters() *counters {
+	c := &counters{}
+	c.sent = 0 //ring:nonatomic pre-publication init
+	return c
+}
+
+// reset is wholly pre-publication.
+//
+//ring:nonatomic called only before the collector is shared
+func (c *counters) reset() {
+	c.sent = 0
+	c.recv = 0
+}
+
+// literal initialization is exempt without any directive: keyed
+// composite-literal fields are not selector accesses.
+var zero = counters{sent: 0, recv: 0}

@@ -1,0 +1,59 @@
+package hotpathalloc
+
+// Message mirrors the proto.Message shape: a same-package interface
+// whose dynamic dispatch must propagate the hot-path walk to every
+// concrete implementation.
+type Message interface {
+	enc(buf []byte) []byte
+}
+
+type putMsg struct{ key string }
+
+func (m *putMsg) enc(buf []byte) []byte {
+	m.key += "!" // want `hot path \(via dispatch\): string concatenation allocates`
+	return buf
+}
+
+type getMsg struct{ n int }
+
+func (m *getMsg) enc(buf []byte) []byte {
+	return append(buf, byte(m.n)) // appending to a parameter: fine
+}
+
+// dispatch is hot; the interface call reaches both enc methods.
+//
+//ring:hotpath
+func dispatch(m Message, buf []byte) []byte {
+	return m.enc(buf)
+}
+
+// closures exercises the escape approximation.
+//
+//ring:hotpath
+func closures(items []int, each func(func(int))) int {
+	total := 0
+	each(func(v int) { total += v }) // direct call argument: fine
+	f := func() int { return total } // want `escaping closure captures variables`
+	go func() { total++ }()          // want `escaping closure captures variables`
+	func() { total *= 2 }()          // invoked in place: fine
+	return f()
+}
+
+// boxing exercises the non-call boxing sites.
+//
+//ring:hotpath
+func boxing(n int, p *sink) {
+	var any interface{}
+	any = n                  // want `int boxed into interface`
+	any = p                  // pointer: fine
+	vals := []interface{}{n} // want `int boxed into interface`
+	_ = any
+	_ = vals
+}
+
+// boxReturn exercises interface-typed results.
+//
+//ring:hotpath
+func boxReturn(n int, p *sink) (interface{}, interface{}) {
+	return n, p // want `int boxed into interface`
+}

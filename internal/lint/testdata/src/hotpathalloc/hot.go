@@ -1,0 +1,48 @@
+// Package hotpathalloc is the fixture for the hotpathalloc analyzer.
+package hotpathalloc
+
+import "fmt"
+
+type sink struct {
+	out []byte
+	msg string
+}
+
+// encodeHot is a hot-path root.
+//
+//ring:hotpath
+func encodeHot(s *sink, name string, n int) {
+	fmt.Println(name)       // want `call to fmt\.Println allocates` `string boxed into interface`
+	s.msg = name + "suffix" // want `string concatenation allocates`
+	s.msg += "more"         // want `string concatenation allocates`
+	var grow []byte         // declared without capacity
+	grow = append(grow, 1)  // want `append to un-preallocated local slice grow`
+	ready := make([]byte, 0, 8)
+	ready = append(ready, 2) // preallocated: fine
+	s.out = append(s.out, ready...)
+	helper(s, n)
+	if coldFail(n) != nil {
+		return
+	}
+}
+
+// helper is reached from encodeHot and checked under the same root.
+func helper(s *sink, n int) {
+	_ = s
+	record(n) // want `hot path \(via encodeHot\): int boxed into interface`
+}
+
+func record(v interface{}) { _ = v }
+
+// coldFail is a deliberate traversal boundary: error construction off
+// the hot path.
+//
+//ring:hotpath-stop cold error exit
+func coldFail(n int) error {
+	return fmt.Errorf("cold: %d", n) // fine: behind hotpath-stop
+}
+
+// notHot is never reached from a root and stays unchecked.
+func notHot() {
+	fmt.Println("free to allocate")
+}

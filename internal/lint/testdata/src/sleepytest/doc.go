@@ -1,0 +1,9 @@
+// Package sleepytest is the fixture for the sleepytest analyzer: only
+// _test.go files are checked, so sleeps here are fine.
+package sleepytest
+
+import "time"
+
+func productionDelay() {
+	time.Sleep(time.Millisecond) // non-test file: not this analyzer's business
+}

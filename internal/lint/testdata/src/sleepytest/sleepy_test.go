@@ -1,0 +1,30 @@
+package sleepytest
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleeps(t *testing.T) {
+	time.Sleep(10 * time.Millisecond) // want `bare time\.Sleep in test`
+	<-time.After(time.Millisecond)    // want `bare <-time\.After in test`
+
+	ch := make(chan struct{})
+	select { // timeout bound on a legitimate wait: fine
+	case <-ch:
+	case <-time.After(time.Second):
+	}
+
+	time.Sleep(time.Millisecond) //ring:sleepok kernel timer granularity is the thing under test
+}
+
+// TestJustified needs real elapsed time end to end.
+//
+//ring:sleepok measures wall-clock pacing itself
+func TestJustified(t *testing.T) {
+	time.Sleep(time.Millisecond) // fine: function-level sleepok
+}
+
+func helperDelay(d time.Duration) {
+	time.Sleep(d) // want `bare time\.Sleep in test`
+}

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WirePair checks the symmetry of the hand-rolled wire protocol in any
+// package defining a MsgType tag type (internal/proto in the real
+// tree). For every MsgType constant it requires:
+//
+//   - exactly one message type whose Type() method returns it;
+//   - an encode method on that message type;
+//   - a case arm for it in Decode's dispatch switch;
+//   - that the Decode arm constructs a value of the very type whose
+//     Type() returns the tag — a crossed arm (case TGet dispatching to
+//     decPut) is the asymmetry that silently corrupts a replicated
+//     log, the failure mode that sank early erasure-coded stores.
+//
+// A tag that deliberately has no message struct — a frame envelope
+// like TBatch, which AppendBatch writes and ForEachPacked strips before
+// Decode ever sees it — is exempted with //ring:wireframe on its
+// declaration.
+var WirePair = &Analyzer{
+	Name: "wirepair",
+	Doc:  "every MsgType tag needs a message type, encode method, and matching Decode arm (//ring:wireframe for frame-level tags)",
+	Run:  runWirePair,
+}
+
+func runWirePair(pass *Pass) error {
+	if pass.Pkg == nil {
+		return nil
+	}
+	scope := pass.Pkg.Scope()
+	tagTypeName, _ := scope.Lookup("MsgType").(*types.TypeName)
+	if tagTypeName == nil {
+		return nil // not a wire-protocol package
+	}
+	tagType := tagTypeName.Type()
+
+	// Collect every MsgType constant in package scope, with its
+	// declaration site for directives and diagnostics.
+	tags := map[types.Object]*ast.Ident{}
+	frameTags := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, name := range vs.Names {
+					obj := pass.Info.Defs[name]
+					if obj == nil || name.Name == "_" || !types.Identical(obj.Type(), tagType) {
+						continue
+					}
+					tags[obj] = name
+					if hasDirective(gd.Doc, "wireframe") || hasDirective(vs.Doc, "wireframe") || hasDirective(vs.Comment, "wireframe") {
+						frameTags[obj] = true
+					}
+				}
+			}
+		}
+	}
+	if len(tags) == 0 {
+		return nil
+	}
+
+	// Walk method declarations: Type() methods claiming tags, and
+	// encode methods per receiver type.
+	typeReturns := map[types.Object][]*ast.FuncDecl{} // tag -> Type() decls returning it
+	tagOfRecv := map[string]types.Object{}            // receiver type name -> tag
+	hasEncode := map[string]bool{}
+	var decodeFn *ast.FuncDecl
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Recv == nil {
+				if fd.Name.Name == "Decode" {
+					decodeFn = fd
+				}
+				continue
+			}
+			recv := recvTypeName(fd)
+			if recv == "" {
+				continue
+			}
+			switch fd.Name.Name {
+			case "encode":
+				hasEncode[recv] = true
+			case "Type":
+				tag := returnedTag(pass, fd, tags)
+				if tag == nil {
+					continue
+				}
+				typeReturns[tag] = append(typeReturns[tag], fd)
+				tagOfRecv[recv] = tag
+			}
+		}
+	}
+
+	// Decode dispatch arms: tag -> constructed message type name.
+	armType := map[types.Object]string{}
+	armPos := map[types.Object]token.Pos{}
+	if decodeFn != nil {
+		collectDecodeArms(pass, decodeFn, tags, armType, armPos)
+	}
+
+	for tag, ident := range tags {
+		if frameTags[tag] {
+			continue
+		}
+		claims := typeReturns[tag]
+		switch len(claims) {
+		case 0:
+			pass.Reportf(ident.Pos(), "wire tag %s has no message type: no Type() method returns it (//ring:wireframe if it is a frame envelope)", tag.Name())
+		case 1:
+			recv := recvTypeName(claims[0])
+			if !hasEncode[recv] {
+				pass.Reportf(claims[0].Pos(), "message type %s (tag %s) has no encode method: it cannot be serialized symmetrically", recv, tag.Name())
+			}
+			if decodeFn != nil {
+				got, ok := armType[tag]
+				switch {
+				case !ok:
+					pass.Reportf(ident.Pos(), "wire tag %s has no case arm in Decode: messages of type %s cannot be decoded", tag.Name(), recv)
+				case got != "" && got != recv:
+					pass.Reportf(armPos[tag], "Decode arm for tag %s constructs *%s, but %s's Type() returns %s: crossed decode arm corrupts the wire protocol", tag.Name(), got, recv, tag.Name())
+				}
+			}
+		default:
+			for _, fd := range claims {
+				pass.Reportf(fd.Pos(), "duplicate wire tag %s: more than one Type() method returns it", tag.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName returns the receiver's named type, stripping a pointer.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// returnedTag resolves the single `return <tagConst>` of a Type()
+// method, or nil when the body is not of that shape.
+func returnedTag(pass *Pass, fd *ast.FuncDecl, tags map[types.Object]*ast.Ident) types.Object {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return nil
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	id, ok := ret.Results[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.Info.Uses[id]
+	if _, isTag := tags[obj]; !isTag {
+		return nil
+	}
+	return obj
+}
+
+// collectDecodeArms records, for each single-tag case clause in
+// Decode's dispatch switch, the concrete message type the arm
+// constructs (via a dec* call returning *T or a &T{} literal; "" when
+// the arm's shape is unrecognized and the pairing is unverifiable).
+func collectDecodeArms(pass *Pass, decodeFn *ast.FuncDecl, tags map[types.Object]*ast.Ident, armType map[types.Object]string, armPos map[types.Object]token.Pos) {
+	ast.Inspect(decodeFn.Body, func(n ast.Node) bool {
+		cc, ok := n.(*ast.CaseClause)
+		if !ok || len(cc.List) != 1 {
+			return true
+		}
+		id, ok := cc.List[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		tag := pass.Info.Uses[id]
+		if _, isTag := tags[tag]; !isTag {
+			return true
+		}
+		armType[tag] = ""
+		armPos[tag] = cc.Pos()
+		for _, stmt := range cc.Body {
+			as, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			if name := constructedMsgType(pass, as.Rhs[0]); name != "" {
+				armType[tag] = name
+			}
+		}
+		return true
+	})
+}
+
+// constructedMsgType names the message type built by a decode arm's
+// right-hand side: decPut(r) -> "Put", &Tick{} -> "Tick".
+func constructedMsgType(pass *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		t := pass.Info.Types[e].Type
+		if t == nil {
+			return ""
+		}
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == pass.Pkg {
+			return named.Obj().Name()
+		}
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return ""
+		}
+		if cl, ok := e.X.(*ast.CompositeLit); ok {
+			if id, ok := cl.Type.(*ast.Ident); ok {
+				return id.Name
+			}
+		}
+	}
+	return ""
+}

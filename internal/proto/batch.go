@@ -19,12 +19,16 @@ import "encoding/binary"
 
 // TBatch tags a multi-message packet. It sits at the top of the type
 // space, far from the iota-assigned message types, so new messages
-// can be appended without colliding.
-const TBatch MsgType = 0xFF
+// can be appended without colliding. It is a frame envelope, not a
+// message: AppendBatch writes it and ForEachPacked strips it before
+// Decode ever sees the payload.
+const TBatch MsgType = 0xFF //ring:wireframe frame envelope, stripped before Decode
 
 // AppendBatch frames msgs into buf as one packet and returns the
 // extended slice. A single message is emitted as its plain envelope
 // (no batch overhead); two or more are wrapped in a TBatch frame.
+//
+//ring:hotpath
 func AppendBatch(buf []byte, msgs ...Message) []byte {
 	if len(msgs) == 1 {
 		return AppendEncode(buf, msgs[0])
@@ -51,6 +55,8 @@ func IsBatch(pkt []byte) bool {
 // alias pkt and are only valid during the call; fn must Decode (which
 // copies all variable-length fields) or copy before retaining. A
 // non-nil error from fn stops the iteration and is returned.
+//
+//ring:hotpath
 func ForEachPacked(pkt []byte, fn func(enc []byte) error) error {
 	if !IsBatch(pkt) {
 		return fn(pkt)

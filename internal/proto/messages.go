@@ -100,6 +100,8 @@ type Message interface {
 
 // Encode serializes a message with its envelope type byte. It is a
 // convenience shim over AppendEncode that allocates a fresh buffer.
+//
+//ring:hotpath
 func Encode(m Message) []byte {
 	return AppendEncode(make([]byte, 0, 64), m)
 }
@@ -112,6 +114,8 @@ var writerPool = sync.Pool{New: func() any { return new(writer) }}
 // appending to buf (which may be nil) and returning the extended
 // slice. It is the allocation-free hot path: callers that reuse a
 // buffer with sufficient capacity pay zero allocations per message.
+//
+//ring:hotpath
 func AppendEncode(buf []byte, m Message) []byte {
 	w := writerPool.Get().(*writer)
 	w.b = append(buf, uint8(m.Type()))
@@ -123,6 +127,8 @@ func AppendEncode(buf []byte, m Message) []byte {
 }
 
 // Decode parses an envelope produced by Encode.
+//
+//ring:hotpath
 func Decode(buf []byte) (Message, error) {
 	if len(buf) < 1 {
 		return nil, ErrTruncated
@@ -199,12 +205,22 @@ func Decode(buf []byte) (Message, error) {
 	case TTick:
 		m = &Tick{}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, buf[0])
+		return nil, errUnknownType(buf[0])
 	}
 	if err := r.done(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// errUnknownType builds the unknown-tag error. It lives behind a
+// hot-path stop so the fmt machinery never rides the decode fast path:
+// the wrapped error is only constructed once a packet is already
+// malformed.
+//
+//ring:hotpath-stop cold error constructor
+func errUnknownType(tag uint8) error {
+	return fmt.Errorf("%w: %d", ErrUnknownType, tag)
 }
 
 // ---------------------------------------------------------------- client ops

@@ -273,23 +273,25 @@ func (w *writer) config(c *Config) {
 	w.u32(uint32(c.Default))
 }
 
+// nodeList decodes a u16-counted list of node IDs.
+func (r *reader) nodeList() []NodeID {
+	n := int(r.u16())
+	if r.err != nil || n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	out := make([]NodeID, n)
+	for i := range out {
+		out[i] = NodeID(r.u32())
+	}
+	return out
+}
+
 func (r *reader) config() *Config {
 	c := &Config{Epoch: Epoch(r.u64()), Leader: NodeID(r.u32())}
-	readNodes := func() []NodeID {
-		n := int(r.u16())
-		if r.err != nil || n > len(r.b) {
-			r.fail()
-			return nil
-		}
-		out := make([]NodeID, n)
-		for i := range out {
-			out[i] = NodeID(r.u32())
-		}
-		return out
-	}
-	c.Coords = readNodes()
-	c.Redundant = readNodes()
-	c.Spares = readNodes()
+	c.Coords = r.nodeList()
+	c.Redundant = r.nodeList()
+	c.Spares = r.nodeList()
 	n := int(r.u16())
 	if r.err != nil || n > len(r.b) {
 		r.fail()

@@ -136,7 +136,16 @@ func (r *reader) done() error {
 		return r.err
 	}
 	if len(r.b) != 0 {
-		return fmt.Errorf("proto: %d trailing bytes", len(r.b))
+		return errTrailing(len(r.b))
 	}
 	return nil
+}
+
+// errTrailing builds the trailing-bytes error. Cold by construction:
+// it only runs for malformed packets, so the fmt allocation is kept
+// off the decode fast path behind a hot-path stop.
+//
+//ring:hotpath-stop cold error constructor
+func errTrailing(n int) error {
+	return fmt.Errorf("proto: %d trailing bytes", n)
 }

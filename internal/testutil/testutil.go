@@ -1,0 +1,25 @@
+// Package testutil holds small helpers shared by Ring's tests.
+package testutil
+
+import "time"
+
+// Eventually polls cond every step until it returns true or timeout
+// elapses, and reports whether the condition was met. It is the
+// sanctioned replacement for bare time.Sleep in tests (enforced by the
+// sleepytest analyzer): a polled test passes the moment its condition
+// holds and times out loudly when it never does, instead of guessing a
+// delay that is wrong on a loaded CI machine and wasteful on a fast
+// one. Virtual-time tests should drive the simulator's tickUntil
+// instead.
+func Eventually(timeout, step time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(step)
+	}
+}

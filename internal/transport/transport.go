@@ -41,6 +41,8 @@ var bufPool sync.Pool
 // AcquireBuf returns an empty buffer to encode an outgoing payload
 // into. Append to it, then pass the result to Send, which takes
 // ownership.
+//
+//ring:hotpath
 func AcquireBuf() []byte {
 	if p, _ := bufPool.Get().(*[]byte); p != nil {
 		return (*p)[:0]
@@ -53,6 +55,8 @@ func AcquireBuf() []byte {
 // the decoded message has been copied out. Releasing a buffer that is
 // still aliased corrupts later messages; when in doubt, don't release
 // (the pool is purely an optimization).
+//
+//ring:hotpath
 func ReleaseBuf(b []byte) {
 	if cap(b) == 0 {
 		return
@@ -192,6 +196,9 @@ func (e *memEndpoint) Addr() string { return e.addr }
 func (e *memEndpoint) RecvChan() <-chan Packet { return e.inbox }
 func (e *memEndpoint) Closed() <-chan struct{} { return e.done }
 
+// Send transfers payload ownership to the receiving endpoint's inbox.
+//
+//ring:hotpath
 func (e *memEndpoint) Send(to string, payload []byte) error {
 	f := e.fabric
 	f.mu.Lock()
