@@ -19,6 +19,11 @@
 #      hence the generous timeout)
 #   8. bench smoke: every benchmark compiles and runs one iteration,
 #      output saved to bench.txt (uploaded as a CI artifact)
+#   9. chaos smoke: three fixed ringchaos seeds through the full
+#      seed -> schedule -> workload -> linearizability-check pipeline,
+#      hard-bounded at 30s. The deep seed sweep runs nightly
+#      (.github/workflows/nightly-chaos.yml); this is the per-push
+#      canary that the chaos harness itself still works.
 set -ex
 
 # Version pins for the external analyzers. CI caches on these; bump
@@ -48,3 +53,6 @@ go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
 
 go test -race -timeout 900s ./internal/...
 go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
+
+go build -o bin/ringchaos ./cmd/ringchaos
+timeout 30 ./bin/ringchaos -seeds 1:3 -v

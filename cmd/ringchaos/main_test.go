@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCleanSeedPasses(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-seed", "1"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "1 seeds ok") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestSeedRange(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-seeds", "1:3", "-v"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out.String(), errw.String())
+	}
+	if !strings.Contains(out.String(), "3 seeds ok") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+// TestInjectedBugCaughtAndShrunk is the driver-level acceptance check:
+// with -bug, some seed in a small band must fail, the output must
+// carry a repro command, and the shrunk schedule it prints must itself
+// reproduce the violation when replayed via -schedule.
+func TestInjectedBugCaughtAndShrunk(t *testing.T) {
+	var out, errw strings.Builder
+	code := run([]string{"-seeds", "1:5", "-bug"}, &out, &errw)
+	if code != 1 {
+		t.Fatalf("expected exit 1 with injected bug, got %d\n%s%s", code, out.String(), errw.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "VIOLATION") || !strings.Contains(text, "repro: ringchaos -seed") {
+		t.Fatalf("missing violation/repro output:\n%s", text)
+	}
+	// Extract the shrunk replay command and run it.
+	i := strings.Index(text, "repro (shrunk): ")
+	if i < 0 {
+		t.Fatalf("no shrunk repro line:\n%s", text)
+	}
+	line := text[i+len("repro (shrunk): "):]
+	line = line[:strings.IndexByte(line, '\n')]
+	// Form: ringchaos -seed N -bug -schedule '...'
+	parts := strings.SplitN(line, "-schedule '", 2)
+	if len(parts) != 2 {
+		t.Fatalf("malformed shrunk repro %q", line)
+	}
+	sched := strings.TrimSuffix(strings.TrimSpace(parts[1]), "'")
+	seedArgs := strings.Fields(parts[0])[1:] // drop "ringchaos"
+	args := append(seedArgs, "-schedule", sched)
+	var out2, errw2 strings.Builder
+	if code := run(args, &out2, &errw2); code != 1 {
+		t.Fatalf("shrunk repro %q did not reproduce (exit %d)\n%s%s", line, code, out2.String(), errw2.String())
+	}
+}
+
+// TestDumpWritesArtifacts pins the -dump contract the nightly workflow
+// relies on: every failing seed leaves history, schedule, repro, and
+// check files behind for artifact upload.
+func TestDumpWritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw strings.Builder
+	if code := run([]string{"-seeds", "1:5", "-bug", "-dump", dir}, &out, &errw); code != 1 {
+		t.Fatalf("expected exit 1 with injected bug, got %d\n%s%s", code, out.String(), errw.String())
+	}
+	// Find the failing seed from the output and check its files.
+	i := strings.Index(out.String(), "seed ")
+	text := out.String()[i:]
+	seed := strings.Fields(strings.TrimSuffix(text[:strings.IndexByte(text, ':')], ":"))[1]
+	for _, suffix := range []string{"history.txt", "schedule.txt", "repro.txt", "check.txt"} {
+		name := filepath.Join(dir, "seed-"+seed+"."+suffix)
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+		if len(b) == 0 {
+			t.Fatalf("artifact %s is empty", name)
+		}
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var out, errw strings.Builder
+	if code := run([]string{"-seeds", "9:1"}, &out, &errw); code != 2 {
+		t.Fatalf("expected exit 2 for bad range, got %d", code)
+	}
+	if code := run([]string{"-schedule", "1ms:frobnicate"}, &out, &errw); code != 2 {
+		t.Fatalf("expected exit 2 for bad schedule, got %d", code)
+	}
+}

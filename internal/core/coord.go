@@ -136,6 +136,34 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 	e := &store.Entry{Rec: rec, Seq: seq}
 	need := 0
 
+	if n.opts.ChaosUnsafeAck {
+		// Injected bug (chaos-harness validation only): acknowledge and
+		// commit locally without waiting for — or even issuing — the
+		// redundancy writes, the classic ack-before-quorum bug where the
+		// reply path races ahead of the replication path. Every
+		// acknowledged write now lives only on this coordinator, so a
+		// later crash of it silently loses acked data, which the
+		// linearizability checker must flag and the shrinker must reduce
+		// to a minimal kill schedule.
+		if st.info.Scheme.Kind == proto.SchemeSRS && !tombstone && len(value) > 0 {
+			ext, err := cs.heap.Alloc(len(value))
+			if err != nil {
+				n.replyStatus(replyTo, req, kind, proto.StUnavailable, 0)
+				return
+			}
+			cs.heap.Write(ext, value)
+			e.Ext = ext
+			e.Rec.LocBlock = ext.Block
+			e.Rec.LocOff = ext.Off
+		} else if st.info.Scheme.Kind == proto.SchemeRep {
+			e.Value = append([]byte(nil), value...)
+		}
+		cs.meta.Put(e)
+		vol.Add(key, ver, mgID)
+		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now)
+		return
+	}
+
 	switch st.info.Scheme.Kind {
 	case proto.SchemeSRS:
 		if !tombstone && len(value) > 0 {

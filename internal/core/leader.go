@@ -8,6 +8,10 @@ import (
 
 // handleTick drives all time-based behaviour of the node.
 func (n *Node) handleTick() {
+	if n.rejoining {
+		n.joinTick()
+		return
+	}
 	if n.IsLeader() {
 		n.leaderTick()
 	} else {
@@ -99,34 +103,7 @@ func (n *Node) replaceNode(dead proto.NodeID) {
 	cfg := n.cfg.Clone()
 	cfg.Epoch++
 	delete(n.lastAck, dead)
-
-	var spare proto.NodeID = proto.NilNode
-	for i, s := range cfg.Spares {
-		if s != dead {
-			spare = s
-			cfg.Spares = append(cfg.Spares[:i], cfg.Spares[i+1:]...)
-			break
-		}
-	}
-	// If the dead node was itself a spare, just drop it.
-	for i, s := range cfg.Spares {
-		if s == dead {
-			cfg.Spares = append(cfg.Spares[:i], cfg.Spares[i+1:]...)
-			break
-		}
-	}
-	substitute := func(ids []proto.NodeID) {
-		for i, id := range ids {
-			if id == dead && spare != proto.NilNode {
-				ids[i] = spare
-			}
-		}
-	}
-	substitute(cfg.Coords)
-	substitute(cfg.Redundant)
-	for i := range cfg.Memgests {
-		substitute(cfg.Memgests[i].Redundant)
-	}
+	stripRoles(cfg, dead)
 	n.pushConfig(cfg)
 }
 
@@ -165,9 +142,12 @@ func (n *Node) handleConfigPush(from string, m *proto.ConfigPush) {
 	if m.Config.Epoch < n.cfg.Epoch {
 		return
 	}
-	if m.Config.Epoch == n.cfg.Epoch {
+	if m.Config.Epoch == n.cfg.Epoch && !n.rejoining {
 		// Same epoch: deterministic tie-break on leader ID keeps all
-		// nodes convergent if two successors raced.
+		// nodes convergent if two successors raced. A rejoining node
+		// is exempt: its boot config may carry the current epoch (no
+		// failure was ever detected), and the push is how it learns it
+		// has been re-admitted.
 		if m.Config.Leader >= n.cfg.Leader {
 			return
 		}

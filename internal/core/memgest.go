@@ -306,6 +306,21 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 	if needsRecovery {
 		n.serving = false
 	}
+	if n.rejoining {
+		for _, id := range cfg.AllNodes() {
+			if id == n.id {
+				// The leader re-admitted us: leave quarantine. Usually we
+				// come back as a role-less spare and serve immediately;
+				// if no spare was free we kept our old roles and the
+				// takeover recovery scheduled above re-fetches their
+				// state (serving stays false until it completes).
+				n.rejoining = false
+				n.joinAttempts = 0
+				n.serving = !needsRecovery
+				break
+			}
+		}
+	}
 }
 
 // ownedShards returns the shards this node currently coordinates.

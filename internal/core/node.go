@@ -58,6 +58,12 @@ type Options struct {
 	// "preserving previous reliable copies" semantics for the
 	// heavy-updates use case. It composes with KeepVersions.
 	KeepDurableBackup bool
+	// ChaosUnsafeAck deliberately acknowledges writes before the
+	// replication quorum is reached. It exists ONLY to validate the
+	// chaos harness (cmd/ringchaos -bug): the linearizability checker
+	// must catch the lost updates this produces under faults. Never
+	// set it outside that test path.
+	ChaosUnsafeAck bool
 	// SyncReplication switches Rep memgests from quorum commits
 	// (majority of r) to fully synchronous commits (all r copies), the
 	// alternative discussed in Section 3.1: r-1 failures tolerated for
@@ -129,6 +135,12 @@ type Node struct {
 	// serving is false while metadata recovery is in progress; client
 	// requests are answered with StRetry until it completes.
 	serving bool
+
+	// rejoining is true on a node that restarted with empty state and
+	// has not yet been re-admitted by the leader (see rejoin.go). While
+	// set, only ConfigPush, Resolve, and client retries are serviced.
+	rejoining    bool
+	joinAttempts int
 
 	nextReq proto.ReqID
 	now     time.Duration
@@ -265,6 +277,10 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 	n.now = now
 	n.outs = n.outs[:0]
 	n.Metrics.Events.Inc()
+	if n.rejoining {
+		n.handleRejoining(from, msg)
+		return n.outs
+	}
 	switch m := msg.(type) {
 	// Client operations.
 	case *proto.Put:
@@ -307,6 +323,8 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 		n.handleConfigPush(from, m)
 	case *proto.ConfigAck:
 		// Informational only in this implementation.
+	case *proto.Join:
+		n.handleJoin(from, m)
 	// Recovery.
 	case *proto.MetaFetch:
 		n.handleMetaFetch(from, m)

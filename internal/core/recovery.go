@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"ring/internal/proto"
 	"ring/internal/store"
 )
@@ -88,11 +90,20 @@ func (n *Node) pumpMetaRecoveries() {
 	for _, id := range n.cfg.AllNodes() {
 		alive[id] = true
 	}
-	for req, mr := range n.recovering {
+	// Iterate in request order: map order would vary run to run, and
+	// replayability (ringchaos) requires every state transition and
+	// message send to happen in identical order for identical seeds.
+	reqs := make([]proto.ReqID, 0, len(n.recovering))
+	for req := range n.recovering {
+		reqs = append(reqs, req)
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+	for _, req := range reqs {
+		mr := n.recovering[req]
 		if n.now-mr.lastSent <= n.opts.FailAfter {
 			continue
 		}
-		for p := range mr.waiting {
+		for _, p := range sortedWaiting(mr.waiting) {
 			if !alive[p] {
 				delete(mr.waiting, p)
 			}
@@ -106,10 +117,21 @@ func (n *Node) pumpMetaRecoveries() {
 			continue
 		}
 		mr.lastSent = n.now
-		for p := range mr.waiting {
+		for _, p := range sortedWaiting(mr.waiting) {
 			n.sendNode(p, &proto.MetaFetch{Req: req, Memgest: mr.memgest, Shard: mr.shard})
 		}
 	}
+}
+
+// sortedWaiting returns a recovery's outstanding peers in ID order, so
+// retransmits go out deterministically.
+func sortedWaiting(waiting map[proto.NodeID]bool) []proto.NodeID {
+	ids := make([]proto.NodeID, 0, len(waiting))
+	for p := range waiting {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 func (n *Node) handleMetaFetchReply(from string, m *proto.MetaFetchReply) {
@@ -138,12 +160,17 @@ func (n *Node) handleMetaFetchReply(from string, m *proto.MetaFetchReply) {
 // finishMetaRecovery merges the fetched metadata copies and installs
 // them for the recovered role, then queues background data recovery.
 //
-// Commit resolution: an entry is considered committed if any copy has
-// it flagged committed, or if it is present on every copy (then the
-// old coordinator had received every ack it was waiting for, so
-// treating it as committed preserves the at-least-once contract).
-// Entries present on only a subset stay uncommitted; they are
-// superseded and garbage-collected by the next put to the key.
+// Commit resolution: every entry present on ANY queried copy is
+// treated as committed. A write-ahead entry reaches a redundancy node
+// only for an operation the client either saw acknowledged (the
+// quorum commit may have included exactly that node, so dropping the
+// entry would lose an acked write — a violation the chaos harness
+// catches as a stale read or resurrected delete) or never saw
+// complete (a pending operation, which linearizability allows to take
+// effect). Committing both is always safe because reads serve the
+// highest committed version: a resurrected stale version is
+// superseded by the newer committed version that any ack quorum
+// guarantees is also in the union.
 func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 	st := n.mgFor(mr.memgest)
 	if st == nil {
@@ -170,14 +197,24 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 			}
 		}
 	}
-	total := len(mr.replies)
-	for _, mg := range union {
-		if !mg.rec.Committed && total > 0 && mg.count == total {
-			mg.rec.Committed = true
-		}
+	// Install in (key, version) order: map iteration order is random
+	// per run, and it leaks into the heap-extent reservation order, the
+	// background-recovery queue, and ultimately the message schedule —
+	// which must be a pure function of the seed for replay to work.
+	keys := make([]store.EntryKey, 0, len(union))
+	for ek := range union {
+		keys = append(keys, ek)
 	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Key != keys[j].Key {
+			return keys[i].Key < keys[j].Key
+		}
+		return keys[i].Version < keys[j].Version
+	})
 
-	for _, mg := range union {
+	for _, ek := range keys {
+		mg := union[ek]
+		mg.rec.Committed = true
 		n.Stats.BytesMetaInstalled += uint64(len(mg.rec.Key)) + 26
 	}
 
@@ -188,7 +225,8 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 			return
 		}
 		vol := n.volFor(mr.shard)
-		for _, mg := range union {
+		for _, ek := range keys {
+			mg := union[ek]
 			e := &store.Entry{Rec: mg.rec}
 			if st.layout != nil && mg.rec.Length > 0 && !mg.rec.Tombstone {
 				e.Ext = store.Extent{Block: mg.rec.LocBlock, Off: mg.rec.LocOff, Len: mg.rec.Length}
@@ -217,7 +255,8 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 
 	case roleReplica:
 		rt := st.rmetaFor(mr.shard)
-		for _, mg := range union {
+		for _, ek := range keys {
+			mg := union[ek]
 			rt.Put(&store.Entry{Rec: mg.rec})
 			if mg.rec.Length > 0 && !mg.rec.Tombstone {
 				n.bgQueue = append(n.bgQueue, bgTask{kind: bgValue, memgest: mr.memgest, shard: mr.shard, key: mg.rec.Key, version: mg.rec.Version, replica: true})
@@ -226,8 +265,8 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 
 	case roleParity:
 		rt := st.rmetaFor(mr.shard)
-		for _, mg := range union {
-			rt.Put(&store.Entry{Rec: mg.rec})
+		for _, ek := range keys {
+			rt.Put(&store.Entry{Rec: union[ek].rec})
 		}
 		// Parity blocks are rebuilt once per stripe, not per shard;
 		// scheduleParityRebuild queued them already.

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"ring/internal/proto"
+	"ring/internal/store"
+)
+
+// This file implements the crash-restart half of the membership
+// protocol: a node that comes back after a crash has lost its entire
+// in-memory state (the paper's servers are volatile stores), so it
+// must not resume any role it still holds in the configuration. It
+// boots in a quarantined "rejoining" state, announces itself with a
+// Join message, and waits for the leader to strip its stale roles and
+// re-admit it as a spare. The chaos harness (internal/sim, cmd/
+// ringchaos) exercises this path continuously.
+
+// NewRejoining creates a node restarting after a crash with empty
+// state. It knows only the (possibly stale) configuration it booted
+// from — used purely to locate peers — and installs no data roles
+// from it. Until a leader re-admits it via ConfigPush it drops all
+// replication, recovery, and membership traffic (an amnesiac replica
+// acking appends would silently weaken quorums) and answers client
+// operations with StRetry.
+func NewRejoining(id proto.NodeID, cfg *proto.Config, opts Options) *Node {
+	n := &Node{
+		id:             id,
+		opts:           opts.Defaults(),
+		cfg:            cfg,
+		vol:            make(map[uint32]*store.VolatileIndex),
+		mg:             make(map[proto.MemgestID]*mgState),
+		lastAck:        make(map[proto.NodeID]time.Duration),
+		recovering:     make(map[proto.ReqID]*metaRecovery),
+		blockRecs:      make(map[proto.ReqID]*blockRecovery),
+		dataRecs:       make(map[proto.ReqID]*dataRecovery),
+		parityRebuilds: make(map[proto.ReqID]*parityRebuild),
+		bgTasks0:       make(map[proto.ReqID]bgTask),
+		rejoining:      true,
+		nextReq:        1,
+		nextMgID:       1,
+		Metrics:        newNodeMetrics(),
+	}
+	return n
+}
+
+// Rejoining reports whether the node is quarantined awaiting
+// re-admission.
+func (n *Node) Rejoining() bool { return n.rejoining }
+
+// handleRejoining is the restricted message dispatch of a quarantined
+// node: configuration pushes are processed (they are how the node is
+// re-admitted), client operations get StRetry so callers re-resolve
+// and retry, and everything else — heartbeats, replication traffic,
+// recovery fetches addressed to state this node no longer has — is
+// dropped on the floor.
+func (n *Node) handleRejoining(from string, msg proto.Message) {
+	switch m := msg.(type) {
+	case *proto.ConfigPush:
+		n.handleConfigPush(from, m)
+	case *proto.Resolve:
+		// The boot config is stale but still routes the client to live
+		// nodes; a wrong coordinator answers StWrongNode and the client
+		// re-resolves.
+		n.send(from, &proto.ResolveReply{Req: m.Req, Config: n.cfg.Clone()})
+	case *proto.Put:
+		n.send(from, &proto.PutReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.Get:
+		n.send(from, &proto.GetReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.Delete:
+		n.send(from, &proto.DeleteReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.Move:
+		n.send(from, &proto.MoveReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.CreateMemgest:
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.DeleteMemgest:
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.SetDefault:
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.GetDescriptor:
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+	}
+}
+
+// joinTick periodically re-announces a rejoining node: first to the
+// leader of its boot configuration, then round-robin over every other
+// known peer (the boot leader may itself be dead). Join is idempotent
+// on the receiving side, so re-sending until a ConfigPush lands is
+// safe.
+func (n *Node) joinTick() {
+	ids := n.cfg.AllNodes()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	peers := ids[:0:0]
+	for _, id := range ids {
+		if id != n.id {
+			peers = append(peers, id)
+		}
+	}
+	if len(peers) == 0 {
+		return
+	}
+	target := n.cfg.Leader
+	if target == n.id || n.joinAttempts > 0 {
+		target = peers[n.joinAttempts%len(peers)]
+	}
+	n.joinAttempts++
+	n.sendNode(target, &proto.Join{Node: n.id, Epoch: n.cfg.Epoch})
+}
+
+// handleJoin processes a restarted node's announcement. Non-leaders
+// point the joiner at the current configuration (and therefore the
+// current leader). The leader strips any data roles the joiner still
+// holds — its memory is gone, so those roles must be re-recovered by
+// a substitute, or by the joiner itself through the normal takeover
+// path if no spare is available — and re-admits it as a spare.
+func (n *Node) handleJoin(from string, m *proto.Join) {
+	if m.Node == n.id {
+		return
+	}
+	if !n.IsLeader() {
+		n.send(from, &proto.ConfigPush{Config: n.cfg.Clone()})
+		return
+	}
+	n.lastAck[m.Node] = n.now
+	switch {
+	case n.holdsDataRole(m.Node):
+		// Amnesiac rejoin: still assigned roles, state lost. Same
+		// substitution as a detected failure, then back in as a spare,
+		// all in one configuration change.
+		cfg := n.cfg.Clone()
+		cfg.Epoch++
+		stripRoles(cfg, m.Node)
+		cfg.Spares = append(cfg.Spares, m.Node)
+		n.pushConfig(cfg)
+	case n.inConfig(m.Node):
+		// Already re-admitted (a previous ConfigPush was lost): resend.
+		n.sendNode(m.Node, &proto.ConfigPush{Config: n.cfg.Clone()})
+	default:
+		cfg := n.cfg.Clone()
+		cfg.Epoch++
+		cfg.Spares = append(cfg.Spares, m.Node)
+		n.pushConfig(cfg)
+	}
+}
+
+// holdsDataRole reports whether id is assigned any coordinator or
+// redundancy role in the current configuration.
+func (n *Node) holdsDataRole(id proto.NodeID) bool {
+	for _, c := range n.cfg.Coords {
+		if c == id {
+			return true
+		}
+	}
+	for _, r := range n.cfg.Redundant {
+		if r == id {
+			return true
+		}
+	}
+	for i := range n.cfg.Memgests {
+		for _, r := range n.cfg.Memgests[i].Redundant {
+			if r == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inConfig reports whether id appears anywhere in the configuration.
+func (n *Node) inConfig(id proto.NodeID) bool {
+	for _, nid := range n.cfg.AllNodes() {
+		if nid == id {
+			return true
+		}
+	}
+	return false
+}
+
+// stripRoles removes every data role `dead` holds from cfg,
+// substituting the first available spare (if any) — shared by
+// failure-driven replacement (replaceNode) and amnesiac rejoin
+// (handleJoin). With no spare the roles keep their assignment; the
+// joiner will re-recover them itself through the takeover path.
+func stripRoles(cfg *proto.Config, dead proto.NodeID) {
+	var spare proto.NodeID = proto.NilNode
+	for i, s := range cfg.Spares {
+		if s != dead {
+			spare = s
+			cfg.Spares = append(cfg.Spares[:i], cfg.Spares[i+1:]...)
+			break
+		}
+	}
+	// If the dead node was itself a spare, just drop it.
+	for i, s := range cfg.Spares {
+		if s == dead {
+			cfg.Spares = append(cfg.Spares[:i], cfg.Spares[i+1:]...)
+			break
+		}
+	}
+	substitute := func(ids []proto.NodeID) {
+		for i, id := range ids {
+			if id == dead && spare != proto.NilNode {
+				ids[i] = spare
+			}
+		}
+	}
+	substitute(cfg.Coords)
+	substitute(cfg.Redundant)
+	for i := range cfg.Memgests {
+		substitute(cfg.Memgests[i].Redundant)
+	}
+}

@@ -1,0 +1,48 @@
+package linearize
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzCheck decodes an arbitrary byte string into a history and
+// asserts the checker terminates without panicking and returns a
+// defined verdict. A tight budget keeps each input fast; Exhausted is
+// an acceptable outcome, a panic or hang is not.
+func FuzzCheck(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 2, 3, 4})
+	f.Add([]byte{
+		0, 0, 1, 0, 10, // put a=1 [0,10]
+		1, 1, 1, 20, 30, // get a=1 [20,30]
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var h []Op
+		for i := 0; i+5 <= len(data) && len(h) < 40; i += 5 {
+			b := data[i : i+5]
+			inv := time.Duration(b[3]) * time.Millisecond
+			ret := inv + time.Duration(b[4])*time.Millisecond
+			o := Op{
+				Client: int(b[0] % 8),
+				Kind:   Kind(b[0] / 8 % 3),
+				Key:    string(rune('a' + b[1]%4)),
+				Arg:    uint64(b[2] % 8),
+				Found:  b[2]%2 == 0,
+				Val:    uint64(b[2] / 2 % 8),
+				Invoke: inv,
+				Return: ret,
+				Done:   b[4] != 0xff,
+			}
+			h = append(h, o)
+		}
+		r := Check(h, 50_000)
+		switch r.Verdict {
+		case Linearizable, Violation, Exhausted:
+		default:
+			t.Fatalf("undefined verdict %d", r.Verdict)
+		}
+		if r.Verdict != Linearizable && r.Key == "" && len(h) > 0 {
+			t.Fatalf("non-pass verdict %v without a witness key", r.Verdict)
+		}
+	})
+}

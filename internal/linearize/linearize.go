@@ -1,0 +1,325 @@
+// Package linearize checks recorded operation histories for per-key
+// linearizability against a register (last-write-wins) model, in the
+// style of Wing & Gong's algorithm with Lowe's memoization.
+//
+// Ring's consistency contract is per item: each key is an independent
+// linearizable register (puts and deletes totally ordered, gets
+// observing the latest committed write). Linearizability is a local
+// (composable) property — a history is linearizable iff every per-key
+// sub-history is — so the checker splits the history by key and
+// searches each sub-history separately, which keeps the exponential
+// search tractable for chaos-scale workloads: thousands of ops over a
+// small keyspace decompose into many short sub-histories.
+package linearize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Kind is the operation type of a history entry.
+type Kind uint8
+
+const (
+	// KPut writes value Arg.
+	KPut Kind = iota
+	// KGet reads: Found/Val record the observation.
+	KGet
+	// KDelete removes the key.
+	KDelete
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KPut:
+		return "put"
+	case KGet:
+		return "get"
+	case KDelete:
+		return "del"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Op is one invocation/response pair recorded by the instrumented
+// client. Values are represented by hashes (uint64), not bytes: the
+// checker only needs equality.
+type Op struct {
+	// Client identifies the issuing client; at most one op per client
+	// is outstanding at a time (the recorder enforces this).
+	Client int
+	Kind   Kind
+	Key    string
+	// Arg is the value written (KPut only).
+	Arg uint64
+	// Found/Val are the observation of a KGet: whether the key existed
+	// and the hash of the value read.
+	Found bool
+	Val   uint64
+	// Invoke and Return bound the operation in real (virtual) time.
+	Invoke, Return time.Duration
+	// Done is false for operations that never got a response (client
+	// gave up, node crashed). A pending put/delete MAY have taken
+	// effect; a pending get is ignored.
+	Done bool
+}
+
+func (o Op) String() string {
+	done := ""
+	if !o.Done {
+		done = " pending"
+	}
+	obs := ""
+	switch o.Kind {
+	case KPut:
+		obs = fmt.Sprintf("(%x)", o.Arg)
+	case KGet:
+		if o.Done {
+			if o.Found {
+				obs = fmt.Sprintf("=%x", o.Val)
+			} else {
+				obs = "=absent"
+			}
+		}
+	}
+	return fmt.Sprintf("c%d %s %q%s [%v,%v]%s",
+		o.Client, o.Kind, o.Key, obs, o.Invoke, o.Return, done)
+}
+
+// Verdict is the outcome of a check.
+type Verdict uint8
+
+const (
+	// Linearizable: a valid total order exists for every key.
+	Linearizable Verdict = iota
+	// Violation: some key's sub-history admits no valid total order.
+	Violation
+	// Exhausted: the search budget ran out before a verdict (treat as
+	// inconclusive, not as a pass).
+	Exhausted
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Linearizable:
+		return "linearizable"
+	case Violation:
+		return "VIOLATION"
+	case Exhausted:
+		return "exhausted"
+	}
+	return fmt.Sprintf("verdict(%d)", uint8(v))
+}
+
+// Result reports a check outcome. For Violation and Exhausted, Key
+// names the offending key and Ops is its sub-history (the witness to
+// replay or shrink against).
+type Result struct {
+	Verdict Verdict
+	Key     string
+	Ops     []Op
+}
+
+func (r Result) String() string {
+	if r.Verdict == Linearizable {
+		return "linearizable"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on key %q (%d ops):\n", r.Verdict, r.Key, len(r.Ops))
+	for _, o := range r.Ops {
+		fmt.Fprintf(&b, "  %s\n", o)
+	}
+	return b.String()
+}
+
+// DefaultBudget bounds the number of search states explored per key.
+// Sub-histories from closed-loop chaos clients are short and rarely
+// need more than a few thousand states.
+const DefaultBudget = 2_000_000
+
+// Check partitions the history by key and verifies each sub-history
+// independently. budget caps search states per key (<=0 means
+// DefaultBudget). The first violating key is reported; keys are
+// checked in sorted order so the verdict is deterministic.
+func Check(history []Op, budget int) Result {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	byKey := make(map[string][]Op)
+	for _, o := range history {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ok, exhausted := checkKey(byKey[k], budget)
+		if exhausted {
+			return Result{Verdict: Exhausted, Key: k, Ops: byKey[k]}
+		}
+		if !ok {
+			return Result{Verdict: Violation, Key: k, Ops: byKey[k]}
+		}
+	}
+	return Result{Verdict: Linearizable}
+}
+
+// regState is the register automaton state threaded through the
+// search.
+type regState struct {
+	present bool
+	val     uint64
+}
+
+const inf = time.Duration(math.MaxInt64)
+
+// checkKey runs the WGL search over one key's sub-history. It returns
+// whether a valid linearization of all completed operations exists
+// (pending writes may optionally be linearized; pending gets are
+// dropped up front — with no observation they constrain nothing).
+func checkKey(ops []Op, budget int) (ok, exhausted bool) {
+	work := make([]Op, 0, len(ops))
+	completed := 0
+	for _, o := range ops {
+		if !o.Done {
+			if o.Kind == KGet {
+				continue
+			}
+			o.Return = inf
+		} else {
+			completed++
+		}
+		work = append(work, o)
+	}
+	if completed == 0 {
+		return true, false
+	}
+	// Deterministic order regardless of how the recorder interleaved
+	// per-client streams.
+	sort.SliceStable(work, func(i, j int) bool {
+		if work[i].Invoke != work[j].Invoke {
+			return work[i].Invoke < work[j].Invoke
+		}
+		return work[i].Client < work[j].Client
+	})
+	s := &search{ops: work, budget: budget, memo: make(map[string]bool)}
+	ok = s.rec(newBitset(len(work)), regState{}, completed)
+	return ok, s.budget <= 0
+}
+
+type search struct {
+	ops    []Op
+	budget int
+	memo   map[string]bool
+}
+
+// rec returns true if the remaining (un-linearized) completed ops can
+// be linearized starting from st. lin marks ops already placed.
+func (s *search) rec(lin bitset, st regState, remaining int) bool {
+	if remaining == 0 {
+		return true
+	}
+	s.budget--
+	if s.budget <= 0 {
+		return false
+	}
+	key := lin.key(st)
+	if s.memo[key] {
+		return false
+	}
+
+	// An op may be linearized next only if no other un-linearized
+	// completed op returned strictly before it was invoked.
+	minReturn := inf
+	for i, o := range s.ops {
+		if lin.has(i) {
+			continue
+		}
+		if o.Done && o.Return < minReturn {
+			minReturn = o.Return
+		}
+	}
+	for i, o := range s.ops {
+		if lin.has(i) || o.Invoke > minReturn {
+			continue
+		}
+		next, applies := apply(st, o)
+		if !applies {
+			continue
+		}
+		rem := remaining
+		if o.Done {
+			rem--
+		}
+		if s.rec(lin.with(i), next, rem) {
+			return true
+		}
+		if s.budget <= 0 {
+			return false
+		}
+	}
+	s.memo[key] = true
+	return false
+}
+
+// apply runs one op against the register, returning the next state
+// and whether the op's observation is consistent with st.
+func apply(st regState, o Op) (regState, bool) {
+	switch o.Kind {
+	case KPut:
+		return regState{present: true, val: o.Arg}, true
+	case KDelete:
+		return regState{}, true
+	case KGet:
+		if !o.Done {
+			return st, false // dropped in checkKey; defensive
+		}
+		if o.Found != st.present {
+			return st, false
+		}
+		if st.present && o.Val != st.val {
+			return st, false
+		}
+		return st, true
+	}
+	return st, false
+}
+
+// bitset is a small immutable bitset used as the memo key together
+// with the register state.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) with(i int) bitset {
+	nb := make(bitset, len(b))
+	copy(nb, b)
+	nb[i/64] |= 1 << uint(i%64)
+	return nb
+}
+
+func (b bitset) key(st regState) string {
+	var sb strings.Builder
+	sb.Grow(len(b)*8 + 10)
+	for _, w := range b {
+		for sh := 0; sh < 64; sh += 8 {
+			sb.WriteByte(byte(w >> uint(sh)))
+		}
+	}
+	if st.present {
+		sb.WriteByte(1)
+		for sh := 0; sh < 64; sh += 8 {
+			sb.WriteByte(byte(st.val >> uint(sh)))
+		}
+	} else {
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}

@@ -1,0 +1,210 @@
+package linearize
+
+import (
+	"testing"
+	"time"
+)
+
+// ms builds a duration in milliseconds for compact fixtures.
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func put(c int, key string, v uint64, inv, ret int) Op {
+	return Op{Client: c, Kind: KPut, Key: key, Arg: v, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func get(c int, key string, v uint64, inv, ret int) Op {
+	return Op{Client: c, Kind: KGet, Key: key, Found: true, Val: v, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func getAbsent(c int, key string, inv, ret int) Op {
+	return Op{Client: c, Kind: KGet, Key: key, Found: false, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func del(c int, key string, inv, ret int) Op {
+	return Op{Client: c, Kind: KDelete, Key: key, Invoke: ms(inv), Return: ms(ret), Done: true}
+}
+
+func pending(o Op) Op {
+	o.Done = false
+	o.Return = 0
+	return o
+}
+
+func wantVerdict(t *testing.T, h []Op, want Verdict) {
+	t.Helper()
+	got := Check(h, 0)
+	if got.Verdict != want {
+		t.Fatalf("verdict = %v, want %v\n%s", got.Verdict, want, got)
+	}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		get(0, "a", 1, 20, 30),
+		put(0, "a", 2, 40, 50),
+		get(0, "a", 2, 60, 70),
+		del(0, "a", 80, 90),
+		getAbsent(0, "a", 100, 110),
+	}, Linearizable)
+}
+
+func TestConcurrentWritesEitherOrderOK(t *testing.T) {
+	// Two overlapping puts; a later read may see either one.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 20),
+		put(1, "a", 2, 5, 25),
+		get(2, "a", 1, 30, 40),
+	}, Linearizable)
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 20),
+		put(1, "a", 2, 5, 25),
+		get(2, "a", 2, 30, 40),
+	}, Linearizable)
+}
+
+func TestReadDuringWriteMaySeeEitherValue(t *testing.T) {
+	// A get concurrent with a put may see the old or the new value.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		put(0, "a", 2, 20, 40),
+		get(1, "a", 1, 25, 35),
+	}, Linearizable)
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		put(0, "a", 2, 20, 40),
+		get(1, "a", 2, 25, 35),
+	}, Linearizable)
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	// The put completed before the get was invoked, yet the get saw
+	// the older value: a stale read.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		put(0, "a", 2, 20, 30),
+		get(1, "a", 1, 40, 50),
+	}, Violation)
+}
+
+func TestLostUpdateViolation(t *testing.T) {
+	// An acknowledged write is never observed again: reads strictly
+	// after it keep returning the previous value.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		put(1, "a", 2, 20, 30), // acked...
+		get(0, "a", 1, 40, 50), // ...but both later reads miss it
+		get(1, "a", 1, 60, 70),
+	}, Violation)
+}
+
+func TestSplitBrainWriteViolation(t *testing.T) {
+	// Two clients each read their own write after both writes
+	// completed — impossible in any single order of a register.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		put(1, "a", 2, 0, 10),
+		get(0, "a", 1, 20, 30),
+		get(1, "a", 2, 20, 30),
+	}, Violation)
+}
+
+func TestReadAfterDeleteViolation(t *testing.T) {
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		del(0, "a", 20, 30),
+		get(1, "a", 1, 40, 50),
+	}, Violation)
+}
+
+func TestPendingWriteMayTakeEffect(t *testing.T) {
+	// A put whose response was lost may still have been applied; a
+	// later read seeing it is legal...
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		pending(put(1, "a", 2, 20, 0)),
+		get(0, "a", 2, 30, 40),
+	}, Linearizable)
+	// ...and so is a read that never sees it.
+	wantVerdict(t, []Op{
+		put(0, "a", 1, 0, 10),
+		pending(put(1, "a", 2, 20, 0)),
+		get(0, "a", 1, 30, 40),
+	}, Linearizable)
+}
+
+func TestPendingWriteCannotFlipFlop(t *testing.T) {
+	// A pending write takes effect at most once: the value cannot
+	// reappear after being overwritten.
+	wantVerdict(t, []Op{
+		pending(put(0, "a", 2, 0, 0)),
+		put(1, "a", 1, 5, 15),
+		get(2, "a", 2, 20, 30), // pending put linearized here
+		put(1, "a", 3, 40, 50),
+		get(2, "a", 2, 60, 70), // ...it cannot apply again
+	}, Violation)
+}
+
+func TestPendingGetIgnored(t *testing.T) {
+	// A get without a response constrains nothing, even if its
+	// recorded observation would be absurd.
+	h := []Op{
+		put(0, "a", 1, 0, 10),
+		pending(get(1, "a", 999, 20, 0)),
+		get(0, "a", 1, 30, 40),
+	}
+	wantVerdict(t, h, Linearizable)
+}
+
+func TestKeysCheckedIndependently(t *testing.T) {
+	// A violation on one key is reported even when other keys are
+	// clean, and the witness names the right key.
+	h := []Op{
+		put(0, "clean", 7, 0, 10),
+		get(1, "clean", 7, 20, 30),
+		put(0, "bad", 1, 0, 10),
+		put(0, "bad", 2, 20, 30),
+		get(1, "bad", 1, 40, 50),
+	}
+	r := Check(h, 0)
+	if r.Verdict != Violation || r.Key != "bad" {
+		t.Fatalf("got %v on key %q, want Violation on %q\n%s", r.Verdict, r.Key, "bad", r)
+	}
+	if len(r.Ops) != 3 {
+		t.Fatalf("witness has %d ops, want 3 (only the violating key's)", len(r.Ops))
+	}
+}
+
+func TestAbsentThenPresent(t *testing.T) {
+	wantVerdict(t, []Op{
+		getAbsent(0, "a", 0, 10),
+		put(1, "a", 1, 20, 30),
+		get(0, "a", 1, 40, 50),
+	}, Linearizable)
+	// Absent read after a completed put with no delete: violation.
+	wantVerdict(t, []Op{
+		put(1, "a", 1, 0, 10),
+		getAbsent(0, "a", 20, 30),
+	}, Violation)
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	// Many concurrent writes with an unsatisfiable read force the
+	// search to enumerate; a tiny budget must yield Exhausted, not a
+	// false pass or a hang.
+	var h []Op
+	for i := 0; i < 12; i++ {
+		h = append(h, put(i, "a", uint64(i+1), 0, 100))
+	}
+	h = append(h, get(20, "a", 999, 200, 210))
+	r := Check(h, 50)
+	if r.Verdict != Exhausted {
+		t.Fatalf("verdict = %v, want Exhausted", r.Verdict)
+	}
+}
+
+func TestEmptyAndTrivialHistories(t *testing.T) {
+	wantVerdict(t, nil, Linearizable)
+	wantVerdict(t, []Op{pending(put(0, "a", 1, 0, 0))}, Linearizable)
+	wantVerdict(t, []Op{pending(get(0, "a", 1, 0, 0))}, Linearizable)
+}

@@ -49,6 +49,9 @@ const (
 	// Local timer tick (never serialized onto the network, but given a
 	// type so runners can inject it uniformly).
 	TTick
+	// Membership (late addition, tagged after TTick to keep prior tags
+	// stable): a restarted node announcing itself to the leader.
+	TJoin
 )
 
 // Status is the result code carried by replies.
@@ -204,6 +207,8 @@ func Decode(buf []byte) (Message, error) {
 		m = decBlockFetchReply(r)
 	case TTick:
 		m = &Tick{}
+	case TJoin:
+		m = decJoin(r)
 	default:
 		return nil, errUnknownType(buf[0])
 	}
@@ -631,6 +636,31 @@ func (*ConfigPush) Type() MsgType      { return TConfigPush }
 func (m *ConfigPush) encode(w *writer) { w.config(m.Config) }
 func decConfigPush(r *reader) *ConfigPush {
 	return &ConfigPush{Config: r.config()}
+}
+
+// Join is sent by a node that (re)started with empty state and wants
+// back into the cluster. The leader strips any data roles the node
+// still holds in the current configuration (its memory is gone — the
+// roles must be recovered by someone else or re-recovered by the
+// joiner) and re-admits it as a spare. Non-leaders answer with a
+// ConfigPush of their current configuration so the joiner can locate
+// the real leader.
+type Join struct {
+	// Node is the joiner's identity (also derivable from the sender
+	// address, but carried explicitly so the message is self-contained).
+	Node NodeID
+	// Epoch is the configuration epoch the joiner booted with, for
+	// observability; the leader's decision does not depend on it.
+	Epoch Epoch
+}
+
+func (*Join) Type() MsgType { return TJoin }
+func (m *Join) encode(w *writer) {
+	w.u32(uint32(m.Node))
+	w.u64(uint64(m.Epoch))
+}
+func decJoin(r *reader) *Join {
+	return &Join{Node: NodeID(r.u32()), Epoch: Epoch(r.u64())}
 }
 
 // ConfigAck confirms installation of a configuration epoch.

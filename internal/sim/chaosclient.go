@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"ring/internal/core"
+	"ring/internal/linearize"
+	"ring/internal/proto"
+	"ring/internal/store"
+)
+
+// This file is the instrumented workload side of the chaos harness:
+// closed-loop clients that issue puts/gets/deletes against the
+// simulated cluster, retry and re-resolve through failures like the
+// real client library, and record every operation as an
+// invocation/response pair for the linearizability checker. All
+// randomness comes from seeded generators, so a run is a pure
+// function of its seed.
+
+// ChaosOptions parameterizes a chaos workload.
+type ChaosOptions struct {
+	// Seed drives key/op selection; each client derives its own rng.
+	Seed int64
+	// Clients is the number of concurrent closed-loop clients.
+	Clients int
+	// Keys is the keyspace size. Small keyspaces maximize contention,
+	// which is what shakes out consistency bugs.
+	Keys int
+	// OpsPerClient bounds each client's operation count.
+	OpsPerClient int
+	// OpTimeout is how long a client waits for a reply before
+	// re-resolving and retrying.
+	OpTimeout time.Duration
+	// OpRetries bounds attempts per operation; past it the operation
+	// is abandoned and recorded as pending (it may or may not have
+	// taken effect — the checker treats both as allowed).
+	OpRetries int
+	// ThinkTime paces each client between operations so the workload
+	// spans the nemesis window instead of finishing before the first
+	// fault fires. RunChaos defaults it to Active/OpsPerClient.
+	ThinkTime time.Duration
+	// Memgests are the memgest IDs writes are spread over. They must
+	// all be reliable schemes (Rep r>=2 or SRS): Rep(1) loses data on
+	// a crash by design, which the checker would rightly flag.
+	Memgests []proto.MemgestID
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Keys <= 0 {
+		o.Keys = 6
+	}
+	if o.OpsPerClient <= 0 {
+		o.OpsPerClient = 50
+	}
+	if o.OpTimeout <= 0 {
+		o.OpTimeout = 3 * time.Millisecond
+	}
+	if o.OpRetries <= 0 {
+		o.OpRetries = 25
+	}
+	return o
+}
+
+// ChaosHarness owns the chaos clients and the shared history.
+type ChaosHarness struct {
+	sim     *Sim
+	opts    ChaosOptions
+	history []linearize.Op
+	running int
+	nextVal uint64
+	// Abandoned counts operations that exhausted their retries.
+	Abandoned int
+}
+
+// NewChaosHarness registers opts.Clients chaos clients on the fabric.
+// Call Run (or Start + manual stepping) afterwards.
+func NewChaosHarness(s *Sim, cfg *proto.Config, opts ChaosOptions) *ChaosHarness {
+	opts = opts.withDefaults()
+	if len(opts.Memgests) == 0 {
+		panic("sim: chaos workload needs at least one reliable memgest")
+	}
+	h := &ChaosHarness{sim: s, opts: opts, nextVal: 1}
+	for i := 0; i < opts.Clients; i++ {
+		c := &chaosClient{
+			h:    h,
+			sim:  s,
+			idx:  i,
+			addr: fmt.Sprintf("client/chaos%d", i),
+			cfg:  cfg.Clone(),
+			rng:  rand.New(rand.NewSource(opts.Seed*1_000_003 + int64(i)*7919)),
+			left: opts.OpsPerClient,
+		}
+		s.RegisterClient(c.addr, c.onMessage)
+		h.running++
+		// Stagger starts so clients do not move in lockstep.
+		start := time.Duration(i) * 20 * time.Microsecond
+		cc := c
+		s.At(s.Now()+start, func(now time.Duration) { cc.startNext(now) })
+	}
+	return h
+}
+
+// Run drives the simulation until every client finished or the horizon
+// passed (ticks keep the event queue non-empty forever, so a horizon
+// is required), then returns the recorded history. Operations still
+// in flight at the horizon remain pending in the history.
+func (h *ChaosHarness) Run(horizon time.Duration) []linearize.Op {
+	for h.running > 0 && h.sim.Now() < horizon && h.sim.Step() {
+	}
+	return h.history
+}
+
+// History returns the recorded history so far.
+func (h *ChaosHarness) History() []linearize.Op { return h.history }
+
+// Done reports whether every client completed its operations.
+func (h *ChaosHarness) Done() bool { return h.running == 0 }
+
+// chaosOp is one logical operation possibly spanning several attempts.
+type chaosOp struct {
+	histIdx  int
+	kind     linearize.Kind
+	key      string
+	arg      uint64
+	mg       proto.MemgestID
+	attempts int
+	// reqs holds the request IDs of all outstanding attempts; a reply
+	// to ANY of them completes the operation (each attempt's
+	// observation falls inside the operation's real-time window).
+	reqs map[proto.ReqID]bool
+	done bool
+}
+
+type chaosClient struct {
+	h    *ChaosHarness
+	sim  *Sim
+	idx  int
+	addr string
+	cfg  *proto.Config
+	rng  *rand.Rand
+	left int
+
+	nextReq     proto.ReqID
+	cur         *chaosOp
+	resolveReqs map[proto.ReqID]bool
+	resolveRR   int
+}
+
+// scheduleNext queues the next operation after the think-time pause.
+func (c *chaosClient) scheduleNext(now time.Duration) {
+	if c.h.opts.ThinkTime <= 0 {
+		c.startNext(now)
+		return
+	}
+	c.sim.At(now+c.h.opts.ThinkTime, func(tnow time.Duration) { c.startNext(tnow) })
+}
+
+func (c *chaosClient) startNext(now time.Duration) {
+	if c.left == 0 {
+		c.cur = nil
+		c.h.running--
+		return
+	}
+	c.left--
+	var kind linearize.Kind
+	switch r := c.rng.Intn(10); {
+	case r < 5:
+		kind = linearize.KPut
+	case r < 9:
+		kind = linearize.KGet
+	default:
+		kind = linearize.KDelete
+	}
+	key := fmt.Sprintf("k%d", c.rng.Intn(c.h.opts.Keys))
+	op := &chaosOp{
+		histIdx: len(c.h.history),
+		kind:    kind,
+		key:     key,
+		mg:      c.h.opts.Memgests[c.rng.Intn(len(c.h.opts.Memgests))],
+		reqs:    make(map[proto.ReqID]bool),
+	}
+	if kind == linearize.KPut {
+		op.arg = c.h.nextVal
+		c.h.nextVal++
+	}
+	c.h.history = append(c.h.history, linearize.Op{
+		Client: c.idx,
+		Kind:   kind,
+		Key:    key,
+		Arg:    op.arg,
+		Invoke: now,
+	})
+	c.cur = op
+	c.sendAttempt(now)
+}
+
+// chaosValue encodes a write's value: the 8-byte argument followed by
+// deterministic filler of value-dependent length, so different writes
+// exercise different block layouts and a read can recover the
+// argument from the first 8 bytes.
+func chaosValue(arg uint64) []byte {
+	n := 8 + int(arg%121)
+	v := make([]byte, n)
+	binary.BigEndian.PutUint64(v, arg)
+	for i := 8; i < n; i++ {
+		v[i] = byte(arg) + byte(i)
+	}
+	return v
+}
+
+// chaosObserved recovers the argument hash from a read value.
+func chaosObserved(v []byte) uint64 {
+	if len(v) >= 8 {
+		return binary.BigEndian.Uint64(v)
+	}
+	f := fnv.New64a()
+	f.Write(v)
+	return f.Sum64()
+}
+
+func (c *chaosClient) coordAddr(key string) string {
+	return core.NodeAddr(c.cfg.CoordinatorOf(store.KeyHash(key)))
+}
+
+func (c *chaosClient) sendAttempt(now time.Duration) {
+	op := c.cur
+	req := c.nextReq
+	c.nextReq++
+	op.reqs[req] = true
+	var msg proto.Message
+	switch op.kind {
+	case linearize.KPut:
+		msg = &proto.Put{Req: req, Key: op.key, Value: chaosValue(op.arg), Memgest: op.mg}
+	case linearize.KGet:
+		msg = &proto.Get{Req: req, Key: op.key}
+	case linearize.KDelete:
+		msg = &proto.Delete{Req: req, Key: op.key}
+	}
+	c.sim.Send(c.addr, c.coordAddr(op.key), msg)
+	att := op.attempts
+	c.sim.At(now+c.h.opts.OpTimeout, func(tnow time.Duration) {
+		if c.cur == op && !op.done && op.attempts == att {
+			c.retry(tnow)
+		}
+	})
+}
+
+// retry re-resolves the configuration and re-sends the current
+// operation, or abandons it after OpRetries attempts (the operation
+// stays pending in the history: it may or may not have taken effect).
+func (c *chaosClient) retry(now time.Duration) {
+	op := c.cur
+	op.attempts++
+	if op.attempts > c.h.opts.OpRetries {
+		op.done = true
+		c.h.Abandoned++
+		c.scheduleNext(now)
+		return
+	}
+	c.resolve(now)
+	c.sendAttempt(now)
+}
+
+// resolve asks the next node (round-robin) for its current
+// configuration; replies with a newer epoch update the routing view.
+func (c *chaosClient) resolve(now time.Duration) {
+	ids := c.cfg.AllNodes()
+	if len(ids) == 0 {
+		return
+	}
+	target := ids[c.resolveRR%len(ids)]
+	c.resolveRR++
+	req := c.nextReq
+	c.nextReq++
+	if c.resolveReqs == nil {
+		c.resolveReqs = make(map[proto.ReqID]bool)
+	}
+	c.resolveReqs[req] = true
+	c.sim.Send(c.addr, core.NodeAddr(target), &proto.Resolve{Req: req})
+}
+
+func (c *chaosClient) onMessage(now time.Duration, _ string, msg proto.Message) {
+	if r, ok := msg.(*proto.ResolveReply); ok {
+		if c.resolveReqs[r.Req] {
+			delete(c.resolveReqs, r.Req)
+			if r.Config != nil && r.Config.Epoch >= c.cfg.Epoch {
+				c.cfg = r.Config.Clone()
+			}
+		}
+		return
+	}
+	op := c.cur
+	if op == nil || op.done {
+		return
+	}
+	var req proto.ReqID
+	var status proto.Status
+	var value []byte
+	switch r := msg.(type) {
+	case *proto.PutReply:
+		req, status = r.Req, r.Status
+	case *proto.GetReply:
+		req, status, value = r.Req, r.Status, r.Value
+	case *proto.DeleteReply:
+		req, status = r.Req, r.Status
+	default:
+		return
+	}
+	if !op.reqs[req] {
+		return // a previous operation's late reply
+	}
+	switch status {
+	case proto.StOK, proto.StNotFound:
+		op.done = true
+		rec := &c.h.history[op.histIdx]
+		rec.Return = now
+		rec.Done = true
+		if op.kind == linearize.KGet {
+			rec.Found = status == proto.StOK
+			if rec.Found {
+				rec.Val = chaosObserved(value)
+			}
+		}
+		c.scheduleNext(now)
+	default:
+		// StRetry, StWrongNode, StUnavailable, ...: re-resolve and try
+		// again after a short backoff (immediate resends against a
+		// recovering coordinator just burn attempts).
+		att := op.attempts
+		c.sim.At(now+c.h.opts.OpTimeout/4, func(tnow time.Duration) {
+			if c.cur == op && !op.done && op.attempts == att {
+				c.retry(tnow)
+			}
+		})
+	}
+}

@@ -23,6 +23,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 	"time"
 
 	"ring/internal/core"
@@ -95,6 +96,7 @@ type event struct {
 	payload int // wire size
 
 	node proto.NodeID // evTick
+	inc  uint64       // target incarnation (evTick, evProcess)
 	fn   func(now time.Duration)
 }
 
@@ -129,6 +131,14 @@ type nodeHost struct {
 	cpuFreeAt time.Duration
 	nicFreeAt time.Duration
 	dead      bool
+	// inc is the node's incarnation, bumped on every Kill and Restart.
+	// Node-bound events (ticks, CPU process slots) carry the
+	// incarnation they were scheduled for and are discarded on
+	// mismatch, so a restarted node never processes events queued for
+	// its previous life. In-flight network messages are NOT gated —
+	// packets really do arrive at a rebooted machine — and are instead
+	// rejected by the rejoining quarantine in core.
+	inc       uint64
 	tickEvery time.Duration
 	lastStats core.Stats
 }
@@ -150,11 +160,23 @@ type Sim struct {
 	nodes   map[proto.NodeID]*nodeHost
 	clients map[string]func(now time.Duration, from string, msg proto.Message)
 
+	// Boot parameters, kept so Restart can construct a fresh (empty)
+	// state machine for a node that crashed.
+	cfg0 *proto.Config
+	opts core.Options
+
+	// Fault plane (see faults.go).
+	faultFn FaultFunc
+	blocked map[string]map[string]bool
+
 	// Delivered counts messages delivered, for sanity checks.
 	Delivered uint64
 	// BytesOnWire sums delivered payload bytes, for the ablations that
 	// compare network cost of different strategies.
 	BytesOnWire uint64
+	// Faults counts injected message faults, for assertions that a
+	// nemesis schedule actually did something.
+	Faults FaultStats
 }
 
 // New creates a simulator over a booted cluster configuration: one
@@ -164,6 +186,9 @@ func New(cfg *proto.Config, opts core.Options, model CostModel) *Sim {
 		Model:   model,
 		nodes:   make(map[proto.NodeID]*nodeHost),
 		clients: make(map[string]func(time.Duration, string, proto.Message)),
+		cfg0:    cfg.Clone(),
+		opts:    opts,
+		blocked: make(map[string]map[string]bool),
 	}
 	for _, id := range cfg.AllNodes() {
 		s.nodes[id] = &nodeHost{node: core.New(id, cfg.Clone(), opts)}
@@ -186,9 +211,17 @@ func (s *Sim) Now() time.Duration { return s.now }
 // Node returns the state machine of a node (for inspection).
 func (s *Sim) Node(id proto.NodeID) *core.Node { return s.nodes[id].node }
 
-// Kill marks a node crashed: it stops processing and its queued
-// traffic is dropped on delivery.
-func (s *Sim) Kill(id proto.NodeID) { s.nodes[id].dead = true }
+// Kill marks a node crashed: its CPU queue is discarded, node-bound
+// events already in the heap are invalidated by the incarnation bump,
+// and in-flight traffic addressed to it is dropped on delivery. See
+// Restart for the other half.
+func (s *Sim) Kill(id proto.NodeID) {
+	h := s.nodes[id]
+	h.dead = true
+	h.inc++
+	h.queue = nil
+	h.procAt = false
+}
 
 // RegisterClient installs a handler for messages sent to a client
 // address.
@@ -196,11 +229,20 @@ func (s *Sim) RegisterClient(addr string, fn func(now time.Duration, from string
 	s.clients[addr] = fn
 }
 
-// EnableTicks schedules periodic timer events for every node.
+// EnableTicks schedules periodic timer events for every node, in node
+// ID order: the first ticks share a timestamp and the event heap
+// breaks ties by insertion sequence, so map-order insertion would make
+// tick processing order — and everything downstream — vary run to run.
 func (s *Sim) EnableTicks(every time.Duration) {
-	for id, h := range s.nodes {
+	ids := make([]proto.NodeID, 0, len(s.nodes))
+	for id := range s.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		h := s.nodes[id]
 		h.tickEvery = every
-		s.push(&event{at: s.now + every, kind: evTick, node: id})
+		s.push(&event{at: s.now + every, kind: evTick, node: id, inc: h.inc})
 	}
 }
 
@@ -215,10 +257,7 @@ func (s *Sim) At(at time.Duration, fn func(now time.Duration)) {
 // Send injects a message from a client address into the fabric.
 func (s *Sim) Send(from, to string, msg proto.Message) {
 	size := len(proto.Encode(msg))
-	s.push(&event{
-		at:   s.now + s.Model.NetDelay + s.txTime(size),
-		kind: evDeliver, from: from, to: to, msg: msg, payload: size,
-	})
+	s.deliver(s.now+s.Model.NetDelay+s.txTime(size), from, to, msg, size)
 }
 
 func (s *Sim) txTime(size int) time.Duration {
@@ -258,12 +297,12 @@ func (s *Sim) Step() bool {
 		e.fn(s.now)
 	case evTick:
 		h := s.nodes[e.node]
-		if h.dead {
-			return true
+		if h.dead || e.inc != h.inc {
+			return true // stale chain from a previous incarnation
 		}
 		s.enqueue(h, e.node, queuedMsg{tick: true})
 		if h.tickEvery > 0 {
-			s.push(&event{at: s.now + h.tickEvery, kind: evTick, node: e.node})
+			s.push(&event{at: s.now + h.tickEvery, kind: evTick, node: e.node, inc: h.inc})
 		}
 	case evDeliver:
 		s.Delivered++
@@ -283,6 +322,9 @@ func (s *Sim) Step() bool {
 		s.enqueue(h, id, queuedMsg{from: e.from, msg: e.msg, size: e.payload})
 	case evProcess:
 		h := s.nodes[e.node]
+		if e.inc != h.inc {
+			return true // CPU slot scheduled for a previous incarnation
+		}
 		h.procAt = false
 		if h.dead || len(h.queue) == 0 {
 			return true
@@ -292,7 +334,7 @@ func (s *Sim) Step() bool {
 		s.process(h, e.node, qm)
 		if len(h.queue) > 0 {
 			h.procAt = true
-			s.push(&event{at: h.cpuFreeAt, kind: evProcess, node: e.node})
+			s.push(&event{at: h.cpuFreeAt, kind: evProcess, node: e.node, inc: h.inc})
 		}
 	}
 	return true
@@ -310,7 +352,7 @@ func (s *Sim) enqueue(h *nodeHost, id proto.NodeID, qm queuedMsg) {
 	if h.cpuFreeAt > at {
 		at = h.cpuFreeAt
 	}
-	s.push(&event{at: at, kind: evProcess, node: id})
+	s.push(&event{at: at, kind: evProcess, node: id, inc: h.inc})
 }
 
 // RunToQuiescence drains all events regardless of horizon.
@@ -366,10 +408,7 @@ func (s *Sim) process(h *nodeHost, id proto.NodeID, qm queuedMsg) {
 	for i, o := range outs {
 		tx := s.txTime(outBufs[i])
 		nic += tx
-		s.push(&event{
-			at:   nic + s.Model.NetDelay,
-			kind: evDeliver, from: core.NodeAddr(id), to: o.To, msg: o.Msg, payload: outBufs[i],
-		})
+		s.deliver(nic+s.Model.NetDelay, core.NodeAddr(id), o.To, o.Msg, outBufs[i])
 	}
 	h.nicFreeAt = nic
 }

@@ -1,0 +1,38 @@
+package transport
+
+import "time"
+
+// FaultAction describes what a fabric does with one in-flight packet.
+// The zero value delivers the packet normally.
+type FaultAction struct {
+	// Drop loses the packet silently, like a datagram on a congested
+	// link. Drop wins over Delay and Duplicate.
+	Drop bool
+	// Delay holds the packet back before delivery (reordering it past
+	// packets sent later).
+	Delay time.Duration
+	// Duplicate delivers one extra copy of the packet immediately, in
+	// addition to the (possibly delayed) original.
+	Duplicate bool
+}
+
+// FaultFunc inspects an in-flight packet and decides its fate. It runs
+// on the sender's goroutine under no fabric locks; implementations
+// must be safe for concurrent calls. It generalizes the older boolean
+// drop predicate (SetDropFunc) with delay and duplication — the same
+// fault plane the deterministic simulator exposes (sim.FaultFunc), so
+// a nemesis schedule's message faults can be mirrored against the real
+// transports in integration tests.
+type FaultFunc func(from, to string, size int) FaultAction
+
+// FaultInjector is implemented by fabrics that support fault
+// injection.
+type FaultInjector interface {
+	// SetFaultFunc installs the hook (nil disables).
+	SetFaultFunc(FaultFunc)
+}
+
+var (
+	_ FaultInjector = (*MemFabric)(nil)
+	_ FaultInjector = (*TCPFabric)(nil)
+)

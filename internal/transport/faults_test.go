@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ring/internal/testutil"
+)
+
+func memPair(t *testing.T) (*MemFabric, Endpoint, Endpoint) {
+	t.Helper()
+	f := NewMemFabric(16)
+	a, err := f.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return f, a, b
+}
+
+// recvCounter drains an endpoint in the background and counts packets.
+type recvCounter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (rc *recvCounter) drain(e Endpoint) {
+	for {
+		if _, err := e.Recv(); err != nil {
+			return
+		}
+		rc.mu.Lock()
+		rc.n++
+		rc.mu.Unlock()
+	}
+}
+
+func (rc *recvCounter) count() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.n
+}
+
+func TestMemFaultDrop(t *testing.T) {
+	f, a, b := memPair(t)
+	var rc recvCounter
+	go rc.drain(b)
+
+	f.SetFaultFunc(func(from, to string, size int) FaultAction {
+		return FaultAction{Drop: true}
+	})
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaultFunc(nil)
+	if err := a.Send("b", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Eventually(time.Second, time.Millisecond, func() bool { return rc.count() == 1 }) {
+		t.Fatalf("want exactly 1 delivery, got %d", rc.count())
+	}
+}
+
+func TestMemFaultDuplicate(t *testing.T) {
+	f, a, b := memPair(t)
+	var rc recvCounter
+	go rc.drain(b)
+
+	f.SetFaultFunc(func(from, to string, size int) FaultAction {
+		return FaultAction{Duplicate: true}
+	})
+	if err := a.Send("b", []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Eventually(time.Second, time.Millisecond, func() bool { return rc.count() == 2 }) {
+		t.Fatalf("want 2 deliveries of a duplicated packet, got %d", rc.count())
+	}
+}
+
+func TestMemFaultDelayReorders(t *testing.T) {
+	f, a, b := memPair(t)
+
+	// Delay only the first packet; the second must overtake it.
+	first := true
+	f.SetFaultFunc(func(from, to string, size int) FaultAction {
+		if first {
+			first = false
+			return FaultAction{Delay: 20 * time.Millisecond}
+		}
+		return FaultAction{}
+	})
+	if err := a.Send("b", []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p1.Payload) != "fast" {
+		t.Fatalf("first delivery = %q, want the undelayed packet", p1.Payload)
+	}
+	p2, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(p2.Payload) != "slow" {
+		t.Fatalf("second delivery = %q, want the delayed packet", p2.Payload)
+	}
+}
+
+// TestMemDropFuncStillWorks pins the back-compat wrapper: the boolean
+// predicate must behave exactly as before on top of the fault plane.
+func TestMemDropFuncStillWorks(t *testing.T) {
+	f, a, b := memPair(t)
+	var rc recvCounter
+	go rc.drain(b)
+
+	f.SetDropFunc(func(from, to string) bool { return to == "b" })
+	if err := a.Send("b", []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetDropFunc(nil)
+	if err := a.Send("b", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if !testutil.Eventually(time.Second, time.Millisecond, func() bool { return rc.count() == 1 }) {
+		t.Fatalf("want exactly 1 delivery, got %d", rc.count())
+	}
+}
+
+func TestTCPFaultDropAndDuplicate(t *testing.T) {
+	f := NewTCPFabric()
+	a, err := f.Register("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := f.Register("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var rc recvCounter
+	go rc.drain(b)
+
+	f.SetFaultFunc(func(from, to string, size int) FaultAction {
+		return FaultAction{Drop: true}
+	})
+	if err := a.Send(BoundAddr(b), []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaultFunc(func(from, to string, size int) FaultAction {
+		return FaultAction{Duplicate: true}
+	})
+	if err := a.Send(BoundAddr(b), []byte("twice")); err != nil {
+		t.Fatal(err)
+	}
+	f.SetFaultFunc(nil)
+	if !testutil.Eventually(2*time.Second, time.Millisecond, func() bool { return rc.count() == 2 }) {
+		t.Fatalf("want 2 deliveries (drop swallowed, duplicate doubled), got %d", rc.count())
+	}
+}

@@ -16,9 +16,12 @@ var Metrics struct {
 	PacketsSent metrics.Counter
 	BytesSent   metrics.Counter
 	BatchedSent metrics.Counter
-	// Drops counts packets lost on purpose (memnet fault injection);
-	// SendErrors counts sends that failed (unknown peer, dead dial).
+	// Drops, Delays, and Duplicates count packets faulted on purpose
+	// (SetFaultFunc / SetDropFunc injection); SendErrors counts sends
+	// that failed (unknown peer, dead dial).
 	Drops      metrics.Counter
+	Delays     metrics.Counter
+	Duplicates metrics.Counter
 	SendErrors metrics.Counter
 	// PacketsRecv / BytesRecv count packets surfaced to receivers.
 	PacketsRecv metrics.Counter
@@ -33,6 +36,8 @@ func init() {
 	d.Register("transport.bytes_sent", &Metrics.BytesSent)
 	d.Register("transport.batched_sent", &Metrics.BatchedSent)
 	d.Register("transport.drops", &Metrics.Drops)
+	d.Register("transport.delays", &Metrics.Delays)
+	d.Register("transport.duplicates", &Metrics.Duplicates)
 	d.Register("transport.send_errors", &Metrics.SendErrors)
 	d.Register("transport.packets_recv", &Metrics.PacketsRecv)
 	d.Register("transport.bytes_recv", &Metrics.BytesRecv)

@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // TCPFabric implements the fabric over real TCP sockets. Each endpoint
@@ -30,12 +31,34 @@ type TCPFabric struct {
 	// resolve maps logical addresses to TCP "host:port" when the two
 	// differ (ringd uses logical node names over real sockets).
 	resolve map[string]string
+	// faultFn, when set, may drop, delay, or duplicate outgoing frames
+	// (see FaultFunc). TCP itself never reorders or duplicates within a
+	// connection; the hook models faults above the socket, where the
+	// chaos harness injects them.
+	faultFn FaultFunc
 }
 
 // NewTCPFabric creates a TCP-backed fabric. Logical addresses are used
 // verbatim as TCP addresses unless remapped with Map.
 func NewTCPFabric() *TCPFabric {
 	return &TCPFabric{resolve: make(map[string]string)}
+}
+
+// SetFaultFunc implements FaultInjector (nil disables).
+func (f *TCPFabric) SetFaultFunc(fn FaultFunc) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faultFn = fn
+}
+
+func (f *TCPFabric) fault(from, to string, size int) FaultAction {
+	f.mu.Lock()
+	fn := f.faultFn
+	f.mu.Unlock()
+	if fn == nil {
+		return FaultAction{}
+	}
+	return fn(from, to, size)
 }
 
 // Map binds a logical address to a concrete TCP address.
@@ -173,6 +196,29 @@ func writeFrame(c net.Conn, from string, payload []byte) error {
 }
 
 func (e *tcpEndpoint) Send(to string, payload []byte) error {
+	switch act := e.fabric.fault(e.addr, to, len(payload)); {
+	case act.Drop:
+		Metrics.Drops.Inc()
+		ReleaseBuf(payload)
+		return nil
+	case act.Duplicate || act.Delay > 0:
+		if act.Duplicate {
+			Metrics.Duplicates.Inc()
+			dup := append([]byte(nil), payload...)
+			e.transmit(to, dup)
+		}
+		if act.Delay > 0 {
+			Metrics.Delays.Inc()
+			time.AfterFunc(act.Delay, func() { e.transmit(to, payload) })
+			return nil
+		}
+	}
+	return e.transmit(to, payload)
+}
+
+// transmit performs the actual framed write (dialing on demand),
+// bypassing fault injection.
+func (e *tcpEndpoint) transmit(to string, payload []byte) error {
 	e.mu.Lock()
 	c := e.conns[to]
 	if c == nil {

@@ -31,6 +31,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // bufPool recycles payload buffers between receivers (which release
@@ -126,9 +127,9 @@ var (
 type MemFabric struct {
 	mu    sync.Mutex
 	peers map[string]*memEndpoint
-	// dropFn, when set, is consulted for every send; returning true
-	// silently drops the packet (message loss injection).
-	dropFn func(from, to string) bool
+	// faultFn, when set, is consulted for every send and may drop,
+	// delay, or duplicate the packet (see FaultFunc).
+	faultFn FaultFunc
 	// queueLen is the per-endpoint inbox capacity.
 	queueLen int
 }
@@ -143,11 +144,23 @@ func NewMemFabric(queueLen int) *MemFabric {
 }
 
 // SetDropFunc installs a packet-drop predicate (nil disables). It is
-// the fault-injection hook used by partition and message-loss tests.
+// the boolean special case of SetFaultFunc, kept for the existing
+// partition and message-loss tests.
 func (f *MemFabric) SetDropFunc(fn func(from, to string) bool) {
+	if fn == nil {
+		f.SetFaultFunc(nil)
+		return
+	}
+	f.SetFaultFunc(func(from, to string, _ int) FaultAction {
+		return FaultAction{Drop: fn(from, to)}
+	})
+}
+
+// SetFaultFunc implements FaultInjector (nil disables).
+func (f *MemFabric) SetFaultFunc(fn FaultFunc) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.dropFn = fn
+	f.faultFn = fn
 }
 
 // Register implements Fabric.
@@ -202,10 +215,14 @@ func (e *memEndpoint) Closed() <-chan struct{} { return e.done }
 func (e *memEndpoint) Send(to string, payload []byte) error {
 	f := e.fabric
 	f.mu.Lock()
-	drop := f.dropFn != nil && f.dropFn(e.addr, to)
+	fn := f.faultFn
 	peer := f.peers[to]
 	f.mu.Unlock()
-	if drop {
+	var act FaultAction
+	if fn != nil {
+		act = fn(e.addr, to, len(payload))
+	}
+	if act.Drop {
 		Metrics.Drops.Inc()
 		ReleaseBuf(payload) // silently lost, like a datagram
 		return nil
@@ -215,6 +232,25 @@ func (e *memEndpoint) Send(to string, payload []byte) error {
 		ReleaseBuf(payload)
 		return ErrUnknownPeer
 	}
+	if act.Duplicate {
+		// The duplicate needs its own allocation: ownership of each
+		// delivered payload transfers to the receiver independently.
+		Metrics.Duplicates.Inc()
+		dup := append([]byte(nil), payload...)
+		e.deliver(peer, dup)
+	}
+	if act.Delay > 0 {
+		Metrics.Delays.Inc()
+		time.AfterFunc(act.Delay, func() { e.deliver(peer, payload) })
+		return nil
+	}
+	return e.deliver(peer, payload)
+}
+
+// deliver enqueues payload into peer's inbox, transferring ownership.
+//
+//ring:hotpath
+func (e *memEndpoint) deliver(peer *memEndpoint, payload []byte) error {
 	countSend(payload)
 	// No copy: Send transfers payload ownership (package doc), so the
 	// receiver can be handed the sender's buffer directly.
