@@ -18,7 +18,9 @@ import (
 	"time"
 
 	"ring"
+	"ring/internal/core"
 	"ring/internal/experiments"
+	"ring/internal/gf"
 	"ring/internal/reliability"
 	"ring/internal/workload"
 )
@@ -219,6 +221,30 @@ func BenchmarkAblationBalance(b *testing.B) {
 		res := experiments.AblationBalance()
 		b.ReportMetric(res.SingleGroup, "single-group-imbalance")
 		b.ReportMetric(res.Rotated, "rotated-imbalance")
+	}
+}
+
+// ----------------------------- zero-alloc pins -----------------------
+
+// TestHotpathZeroAlloc pins the per-operation hot paths introduced by
+// the word-wide kernels and memgest-group sharding to zero heap
+// allocations — the suite-level counterpart of the per-package pins,
+// so a regression in any layer fails here too.
+func TestHotpathZeroAlloc(t *testing.T) {
+	const c = 0x57
+	src := make([]byte, 4096)
+	dst := make([]byte, 4096)
+	gf.WarmTables(c) // the lazy word table builds once, off the pin
+	key := "alloc-pin-key"
+	for name, f := range map[string]func(){
+		"gf.MulSlice":    func() { gf.MulSlice(c, src, dst) },
+		"gf.MulSliceXor": func() { gf.MulSliceXor(c, src, dst) },
+		"gf.XorSlice":    func() { gf.XorSlice(src, dst) },
+		"core.GroupOf":   func() { _ = core.GroupOf(key, 4) },
+	} {
+		if n := testing.AllocsPerRun(100, f); n != 0 {
+			t.Errorf("%s allocates %v per call, want 0", name, n)
+		}
 	}
 }
 

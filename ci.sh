@@ -24,6 +24,12 @@
 #      hard-bounded at 30s. The deep seed sweep runs nightly
 #      (.github/workflows/nightly-chaos.yml); this is the per-push
 #      canary that the chaos harness itself still works.
+#  10. BENCH trajectory: scripts/cluster.sh boots a real 5-process
+#      cluster over TCP, drives it with cmd/ringload (GF kernels +
+#      closed-loop rep3 and srs3.2), writes BENCH_6.json, and fails on
+#      a >10% ops/sec or GB/s regression against the newest committed
+#      BENCH_*.json (a no-op while the trajectory has no earlier
+#      point). The file is uploaded as a CI artifact.
 set -ex
 
 # Version pins for the external analyzers. CI caches on these; bump
@@ -50,9 +56,12 @@ fi
 
 go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
 go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
+go test -run=NONE -fuzz=FuzzGFKernels -fuzztime=10s ./internal/gf/
 
 go test -race -timeout 900s ./internal/...
 go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
 
 go build -o bin/ringchaos ./cmd/ringchaos
 timeout 30 ./bin/ringchaos -seeds 1:3 -v
+
+BENCH_OUT=BENCH_6.json PREV_DIR=. DURATION=3s timeout 120 scripts/cluster.sh

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ringbench -experiment table1|fig2|fig7a|fig7c|fig8|fig9|fig10|fig11|fig12|fig13|fig16|all
+//	ringbench -experiment table1|fig2|fig7a|fig7c|fig8|fig9|fig10|fig11|fig12|fig13|fig16|ablation|all
 //	          [-reps N] [-burst 50ms]
 package main
 
@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"ring/internal/experiments"
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment to run (table1, fig2, fig7a, fig7c, fig8, fig9, fig10, fig11, fig12, fig13, fig16, all)")
+	exp := flag.String("experiment", "all", "experiment to run (table1, fig2, fig7a, fig7c, fig8, fig9, fig10, fig11, fig12, fig13, fig16, ablation, all)")
 	reps := flag.Int("reps", 31, "samples per latency point")
 	burst := flag.Duration("burst", 50*time.Millisecond, "virtual-time burst window for throughput measurements")
 	flag.Parse()
@@ -57,7 +58,8 @@ func main() {
 		return
 	}
 	if _, ok := runners[*exp]; !ok {
-		fmt.Fprintf(os.Stderr, "ringbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "ringbench: unknown experiment %q (want %s, or all)\n",
+			*exp, strings.Join(order, ", "))
 		os.Exit(2)
 	}
 	run(*exp)

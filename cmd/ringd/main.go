@@ -1,4 +1,6 @@
-// Command ringd runs one Ring server node over TCP.
+// Command ringd runs the Ring server side over TCP: one node per
+// process in the basic mode, with two extensions for real-hardware
+// deployments.
 //
 // Every node of a deployment is started with the same -nodes list (the
 // TCP addresses of all nodes, in node-ID order), the same role counts,
@@ -10,13 +12,34 @@
 // Node IDs 0..shards-1 are coordinators, the next `redundant` are
 // redundancy nodes, and the rest are spares. Memgest descriptors are
 // comma-separated: repR (replication factor R) or srsK.M (SRS(K,M,s)).
+//
+// Memgest groups (-groups G): a Ring node is single-threaded, so one
+// deployment uses at most one core per machine. With -groups G the
+// process hosts G fully independent group instances of its node — one
+// runner goroutine and one TCP fabric each, group g listening on the
+// node's port plus g — saturating up to G cores. Clients partition
+// keys between groups with core.GroupOf; cmd/ringload does this
+// automatically.
+//
+// Procfile-style launcher (-launch N): instead of starting N processes
+// by hand, one parent re-execs itself once per node on consecutive
+// localhost ports, supervises the children, and tears the whole
+// cluster down on Ctrl-C or when any child dies:
+//
+//	ringd -launch 5 -base-port 7400 -shards 3 -redundant 2 \
+//	      -memgests rep3,srs3.2 -groups 2
+//
+// scripts/cluster.sh wraps this together with cmd/ringload into a
+// one-command benchmark run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/exec"
 	"os/signal"
 	"strconv"
 	"strings"
@@ -38,15 +61,26 @@ func main() {
 	blockSize := flag.Int("block-size", 64<<10, "SRS logical block size in bytes")
 	heartbeat := flag.Duration("heartbeat", 50*time.Millisecond, "leader heartbeat period")
 	failAfter := flag.Duration("fail-after", 250*time.Millisecond, "failure detection threshold")
+	groups := flag.Int("groups", 1, "independent memgest groups hosted by this process (group g listens on the node port + g)")
 	httpAddr := flag.String("http", "", "optional HTTP monitoring address serving /status, /metrics, /debug/ringvars and /debug/trace (e.g. :8080)")
+	launch := flag.Int("launch", 0, "launcher mode: spawn a whole N-node cluster on localhost and supervise it")
+	basePort := flag.Int("base-port", 7400, "launcher mode: first TCP port (node i uses base-port + i*groups)")
+	httpBase := flag.Int("http-base", 0, "launcher mode: serve node i's monitoring on this port + i (0 disables)")
 	flag.Parse()
 
-	addrs := strings.Split(*nodes, ",")
+	if *launch > 0 {
+		os.Exit(runLauncher(*launch, *basePort, *httpBase, *groups))
+	}
+
+	addrs := splitAddrs(*nodes)
 	if *nodes == "" || len(addrs) < *shards+*redundant {
 		log.Fatalf("ringd: -nodes must list at least shards+redundant (%d) addresses", *shards+*redundant)
 	}
 	if int(*id) >= len(addrs) {
 		log.Fatalf("ringd: -id %d out of range for %d nodes", *id, len(addrs))
+	}
+	if *groups < 1 {
+		*groups = 1
 	}
 	schemes, err := parseMemgests(*memgests, *shards)
 	if err != nil {
@@ -69,19 +103,34 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fabric := transport.NewTCPFabric()
-	for i, a := range addrs {
-		fabric.Map(core.NodeAddr(proto.NodeID(i)), strings.TrimSpace(a))
+	// One runner per hosted group, each group on its own fabric: group
+	// g of node i lives at addrs[i] with the port shifted by g. Groups
+	// never exchange messages, so the fabrics stay fully disjoint.
+	runners := make([]*core.Runner, *groups)
+	for g := 0; g < *groups; g++ {
+		fabric := transport.NewTCPFabric()
+		for i, a := range addrs {
+			ga, err := offsetPort(a, g)
+			if err != nil {
+				log.Fatalf("ringd: node %d: %v", i, err)
+			}
+			fabric.Map(core.NodeAddr(proto.NodeID(i)), ga)
+		}
+		node := core.New(proto.NodeID(*id), cfg.Clone(), spec.Opts)
+		r, err := core.StartRunner(node, fabric, 0)
+		if err != nil {
+			log.Fatalf("ringd: group %d: %v", g, err)
+		}
+		defer r.Stop()
+		runners[g] = r
+		core.RegisterGroupQueueGauge(g, []*core.Runner{r})
 	}
-	node := core.New(proto.NodeID(*id), cfg, spec.Opts)
-	runner, err := core.StartRunner(node, fabric, 0)
-	if err != nil {
-		log.Fatalf("ringd: %v", err)
-	}
-	log.Printf("ringd: node %d listening on %s (%d shards, %d redundant, %d spares, %d memgests)",
-		*id, addrs[*id], *shards, *redundant, spec.Spares, len(schemes))
+	log.Printf("ringd: node %d listening on %s (%d groups, %d shards, %d redundant, %d spares, %d memgests)",
+		*id, addrs[*id], *groups, *shards, *redundant, spec.Spares, len(schemes))
 	if *httpAddr != "" {
-		mon, err := status.Serve(runner, *httpAddr)
+		// The monitor serves group 0's node plus the process registry,
+		// which carries the runner and queue-depth gauges of all groups.
+		mon, err := status.Serve(runners[0], *httpAddr)
 		if err != nil {
 			log.Fatalf("ringd: %v", err)
 		}
@@ -92,8 +141,125 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	runner.Stop()
+	for _, r := range runners {
+		r.Stop()
+	}
 	log.Printf("ringd: node %d stopped", *id)
+}
+
+// runLauncher spawns one child ringd per node on consecutive localhost
+// ports, forwarding the shared cluster flags, and supervises them: the
+// cluster dies as a unit on Ctrl-C/SIGTERM or when any child exits.
+func runLauncher(n, basePort, httpBase, groups int) int {
+	if groups < 1 {
+		groups = 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("ringd: cannot find own binary: %v", err)
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		// Each node owns `groups` consecutive ports (one per group
+		// fabric), so nodes are spaced by the group count.
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i*groups)
+	}
+	nodeList := strings.Join(addrs, ",")
+
+	// Child flags = the shared cluster flags as given, minus the
+	// launcher-only ones, plus the per-node -id/-nodes.
+	shared := []string{"-nodes", nodeList, "-groups", strconv.Itoa(groups)}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "launch", "base-port", "http-base", "id", "nodes", "groups", "http":
+			return
+		}
+		shared = append(shared, "-"+f.Name, f.Value.String())
+	})
+
+	procs := make([]*exec.Cmd, n)
+	exited := make(chan int, n)
+	for i := 0; i < n; i++ {
+		args := append([]string{"-id", strconv.Itoa(i)}, shared...)
+		if httpBase > 0 {
+			args = append(args, "-http", fmt.Sprintf("127.0.0.1:%d", httpBase+i))
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Printf("ringd: launch node %d: %v", i, err)
+			stopAll(procs)
+			return 1
+		}
+		procs[i] = cmd
+		go func(i int, cmd *exec.Cmd) {
+			_ = cmd.Wait()
+			exited <- i
+		}(i, cmd)
+	}
+	log.Printf("ringd: launched %d nodes on %s (groups=%d); Ctrl-C to stop", n, nodeList, groups)
+	fmt.Printf("RING_NODES=%s\n", nodeList)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	code := 0
+	select {
+	case <-sig:
+	case i := <-exited:
+		log.Printf("ringd: node %d exited; stopping cluster", i)
+		code = 1
+	}
+	stopAll(procs)
+	return code
+}
+
+// stopAll terminates every child and waits briefly for each.
+func stopAll(procs []*exec.Cmd) {
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+	deadline := time.After(3 * time.Second)
+	for _, cmd := range procs {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		done := make(chan struct{})
+		go func(cmd *exec.Cmd) { _ = cmd.Wait(); close(done) }(cmd)
+		select {
+		case <-done:
+		case <-deadline:
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// splitAddrs parses a -nodes list, trimming whitespace.
+func splitAddrs(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// offsetPort returns addr with its port shifted by delta — how group
+// fabrics share one -nodes list.
+func offsetPort(addr string, delta int) (string, error) {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", fmt.Errorf("bad address %q: %v", addr, err)
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil {
+		return "", fmt.Errorf("bad port in %q: %v", addr, err)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+delta)), nil
 }
 
 // parseMemgests parses "rep1,rep3,srs3.2" into scheme descriptors.

@@ -1,0 +1,260 @@
+// Package benchjson defines the machine-checked benchmark trajectory:
+// a small, stable JSON schema (BENCH_<n>.json) that the bench smoke
+// writes on every run and compares against the last committed
+// BENCH_*.json. The point is to turn "we made it faster" into a
+// regression gate: kernel GB/s and cluster ops/sec may drift within a
+// tolerance, but a real regression fails CI with the two numbers side
+// by side.
+//
+// The schema is deliberately append-only: new fields may be added,
+// existing ones never change meaning, so BENCH_6.json remains
+// comparable against BENCH_60.json.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ring/internal/gf"
+)
+
+// Schema is the current schema version; bump only on incompatible
+// change (which the package doc forbids — prefer new fields).
+const Schema = 1
+
+// Result is one benchmark run: the kernels of this host plus any
+// cluster measurements taken against a live deployment.
+type Result struct {
+	Schema  int       `json:"schema"`
+	Issue   int       `json:"issue"`
+	Host    Host      `json:"host"`
+	Kernels []Kernel  `json:"kernels,omitempty"`
+	Cluster []Cluster `json:"cluster,omitempty"`
+}
+
+// Host records where the numbers were taken; comparisons across
+// different hosts are advisory, not gating.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	MaxProcs  int    `json:"max_procs"`
+}
+
+// CurrentHost describes this process's host.
+func CurrentHost() Host {
+	return Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+// Kernel is one GF slice-kernel measurement: the word-wide throughput
+// and the byte-wise reference baseline on the same buffer size.
+type Kernel struct {
+	Name     string  `json:"name"`
+	Bytes    int     `json:"bytes"`
+	GBps     float64 `json:"gbps"`
+	BaseGBps float64 `json:"base_gbps"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// Cluster is one load-generator measurement against a live
+// deployment.
+type Cluster struct {
+	Scheme     string  `json:"scheme"`
+	Mode       string  `json:"mode"` // "closed" or "open"
+	Procs      int     `json:"procs"`
+	Groups     int     `json:"groups"`
+	Clients    int     `json:"clients"`
+	ValueBytes int     `json:"value_bytes"`
+	Mix        string  `json:"mix"`
+	Ops        int     `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	P999us     float64 `json:"p999_us"`
+}
+
+// Write marshals r to path (indented, trailing newline, 0644).
+func Write(path string, r Result) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Read unmarshals one result file.
+func Read(path string) (Result, error) {
+	var r Result
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("benchjson: %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return r, fmt.Errorf("benchjson: %s has schema %d, want %d", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// FindPrevious locates the committed BENCH_<n>.json in dir with the
+// highest issue number strictly below `issue`. ok is false when the
+// trajectory has no earlier point (the first PR to seed it).
+func FindPrevious(dir string, issue int) (Result, string, bool, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return Result{}, "", false, err
+	}
+	best, bestIssue := "", -1
+	for _, m := range matches {
+		base := strings.TrimSuffix(filepath.Base(m), ".json")
+		n, err := strconv.Atoi(strings.TrimPrefix(base, "BENCH_"))
+		if err != nil || n >= issue {
+			continue
+		}
+		if n > bestIssue {
+			best, bestIssue = m, n
+		}
+	}
+	if best == "" {
+		return Result{}, "", false, nil
+	}
+	r, err := Read(best)
+	if err != nil {
+		return Result{}, best, false, err
+	}
+	return r, best, true, nil
+}
+
+// Compare reports the regressions of cur versus prev beyond the
+// fractional tolerance tol (0.10 = 10%): kernel GB/s matched by
+// (name, bytes) and cluster ops/sec matched by (scheme, mode).
+// Entries present on only one side are ignored — the trajectory grows
+// — and an empty slice means the gate passes.
+func Compare(prev, cur Result, tol float64) []string {
+	var regressions []string
+	floor := 1 - tol
+	prevKernels := make(map[string]Kernel, len(prev.Kernels))
+	for _, k := range prev.Kernels {
+		prevKernels[k.Name+"/"+strconv.Itoa(k.Bytes)] = k
+	}
+	curKernels := make([]string, 0, len(cur.Kernels))
+	kByKey := make(map[string]Kernel, len(cur.Kernels))
+	for _, k := range cur.Kernels {
+		key := k.Name + "/" + strconv.Itoa(k.Bytes)
+		curKernels = append(curKernels, key)
+		kByKey[key] = k
+	}
+	sort.Strings(curKernels)
+	for _, key := range curKernels {
+		k := kByKey[key]
+		p, ok := prevKernels[key]
+		if !ok {
+			continue
+		}
+		if k.GBps < p.GBps*floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"kernel %s: %.2f GB/s vs %.2f GB/s in BENCH_%d (-%.0f%%)",
+				key, k.GBps, p.GBps, prev.Issue, (1-k.GBps/p.GBps)*100))
+		}
+	}
+	prevCluster := make(map[string]Cluster, len(prev.Cluster))
+	for _, c := range prev.Cluster {
+		prevCluster[c.Scheme+"/"+c.Mode] = c
+	}
+	for _, c := range cur.Cluster {
+		p, ok := prevCluster[c.Scheme+"/"+c.Mode]
+		if !ok {
+			continue
+		}
+		if c.OpsPerSec < p.OpsPerSec*floor {
+			regressions = append(regressions, fmt.Sprintf(
+				"cluster %s/%s: %.0f ops/s vs %.0f ops/s in BENCH_%d (-%.0f%%)",
+				c.Scheme, c.Mode, c.OpsPerSec, p.OpsPerSec, prev.Issue,
+				(1-c.OpsPerSec/p.OpsPerSec)*100))
+		}
+	}
+	return regressions
+}
+
+// MeasureGFKernels times the three word-wide GF kernels and their
+// byte-wise references on `size`-byte buffers, long enough for stable
+// numbers (~100ms per kernel).
+//
+//ring:wallclock offline benchmark timing
+func MeasureGFKernels(size int) []Kernel {
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	const c = 0x57
+	gbps := func(f func()) float64 {
+		// Warm up (builds lazy tables, faults pages, trains the
+		// branch predictor), then time enough iterations to cover
+		// ~100ms.
+		f()
+		start := time.Now()
+		f()
+		per := time.Since(start)
+		iters := 1
+		if per > 0 {
+			iters = int(100*time.Millisecond/per) + 1
+		}
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		el := time.Since(start).Seconds()
+		return float64(size) * float64(iters) / el / 1e9
+	}
+	out := []Kernel{
+		{Name: "MulSlice", Bytes: size,
+			GBps:     gbps(func() { gf.MulSlice(c, src, dst) }),
+			BaseGBps: gbps(func() { gf.MulSliceRef(c, src, dst) })},
+		{Name: "MulSliceXor", Bytes: size,
+			GBps:     gbps(func() { gf.MulSliceXor(c, src, dst) }),
+			BaseGBps: gbps(func() { gf.MulSliceXorRef(c, src, dst) })},
+		{Name: "XorSlice", Bytes: size,
+			GBps:     gbps(func() { gf.XorSlice(src, dst) }),
+			BaseGBps: gbps(func() { gf.XorSliceRef(src, dst) })},
+	}
+	for i := range out {
+		if out[i].BaseGBps > 0 {
+			out[i].Speedup = out[i].GBps / out[i].BaseGBps
+		}
+	}
+	return out
+}
+
+// GeomeanSpeedup returns the geometric mean of the kernel speedups —
+// the single number the acceptance gate tracks across the suite.
+func GeomeanSpeedup(kernels []Kernel) float64 {
+	if len(kernels) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, k := range kernels {
+		if k.Speedup <= 0 {
+			return 0
+		}
+		prod *= k.Speedup
+	}
+	return math.Pow(prod, 1/float64(len(kernels)))
+}

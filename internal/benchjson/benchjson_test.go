@@ -1,0 +1,122 @@
+package benchjson
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample(issue int, mulGBps, opsPerSec float64) Result {
+	return Result{
+		Schema: Schema,
+		Issue:  issue,
+		Host:   CurrentHost(),
+		Kernels: []Kernel{
+			{Name: "MulSlice", Bytes: 4096, GBps: mulGBps, BaseGBps: 1.0, Speedup: mulGBps},
+			{Name: "XorSlice", Bytes: 4096, GBps: 30, BaseGBps: 2.5, Speedup: 12},
+		},
+		Cluster: []Cluster{
+			{Scheme: "rep3", Mode: "closed", Procs: 5, Clients: 4,
+				ValueBytes: 1024, Mix: "update-heavy", Ops: 1000,
+				OpsPerSec: opsPerSec, P50us: 100, P99us: 400, P999us: 900},
+		},
+	}
+}
+
+func TestRoundTripAndFindPrevious(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		issue int
+		gbps  float64
+	}{{3, 3.0}, {5, 4.0}} {
+		path := filepath.Join(dir, "BENCH_"+itoa(tc.issue)+".json")
+		if err := Write(path, sample(tc.issue, tc.gbps, 5000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := Read(filepath.Join(dir, "BENCH_5.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Issue != 5 || got.Kernels[0].GBps != 4.0 || got.Cluster[0].OpsPerSec != 5000 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+
+	prev, path, ok, err := FindPrevious(dir, 6)
+	if err != nil || !ok {
+		t.Fatalf("FindPrevious: ok=%v err=%v", ok, err)
+	}
+	if prev.Issue != 5 || filepath.Base(path) != "BENCH_5.json" {
+		t.Fatalf("FindPrevious picked issue %d (%s), want 5", prev.Issue, path)
+	}
+	// Only files strictly below the issue count as "previous".
+	prev, _, ok, err = FindPrevious(dir, 4)
+	if err != nil || !ok || prev.Issue != 3 {
+		t.Fatalf("FindPrevious(4): issue=%d ok=%v err=%v, want 3/true", prev.Issue, ok, err)
+	}
+	if _, _, ok, _ = FindPrevious(dir, 3); ok {
+		t.Fatal("FindPrevious found a predecessor for the first trajectory point")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev := sample(5, 4.0, 5000)
+
+	// Within tolerance and improvements: no regressions.
+	if regs := Compare(prev, sample(6, 3.7, 4600), 0.10); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", regs)
+	}
+	if regs := Compare(prev, sample(6, 8.0, 9000), 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+
+	// Kernel and cluster regressions are both reported.
+	regs := Compare(prev, sample(6, 2.0, 3000), 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions %v, want 2", len(regs), regs)
+	}
+	if !strings.Contains(regs[0], "MulSlice") || !strings.Contains(regs[1], "rep3/closed") {
+		t.Fatalf("unexpected regression text: %v", regs)
+	}
+
+	// New entries with no predecessor never gate.
+	cur := sample(6, 4.0, 5000)
+	cur.Kernels = append(cur.Kernels, Kernel{Name: "MulSliceXor", Bytes: 4096, GBps: 0.1})
+	cur.Cluster = append(cur.Cluster, Cluster{Scheme: "srs3.2", Mode: "closed", OpsPerSec: 1})
+	if regs := Compare(prev, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("new entries flagged: %v", regs)
+	}
+}
+
+func TestMeasureGFKernelsSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing loop")
+	}
+	ks := MeasureGFKernels(4096)
+	if len(ks) != 3 {
+		t.Fatalf("got %d kernels, want 3", len(ks))
+	}
+	for _, k := range ks {
+		if k.GBps <= 0 || k.BaseGBps <= 0 || k.Speedup <= 0 {
+			t.Errorf("kernel %s has non-positive throughput: %+v", k.Name, k)
+		}
+	}
+	if g := GeomeanSpeedup(ks); g <= 0 {
+		t.Errorf("GeomeanSpeedup = %v, want > 0", g)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

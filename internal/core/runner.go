@@ -5,9 +5,21 @@ import (
 	"sync"
 	"time"
 
+	"ring/internal/metrics"
 	"ring/internal/proto"
 	"ring/internal/transport"
 )
+
+// RunnerGoroutines counts live runner event-loop goroutines
+// process-wide, one per hosted node. With memgest-group sharding a
+// process hosts one runner per (node, group) pair, so this gauge is
+// how an operator sees the parallelism actually running — exposed as
+// core.runner_goroutines via /debug/ringvars and `ringctl stats`.
+var RunnerGoroutines metrics.Gauge
+
+func init() {
+	metrics.Default.Register("core.runner_goroutines", &RunnerGoroutines)
+}
 
 // Runner hosts one Node on a fabric: a single goroutine serializes
 // incoming packets and timer ticks through the state machine, exactly
@@ -21,6 +33,10 @@ type Runner struct {
 	start   time.Time
 	stopped chan struct{}
 	done    chan struct{}
+
+	// depth reports the current inbox backlog; set once at start, read
+	// by the queue-depth gauges at scrape time.
+	depth func() int
 
 	// Event-loop scratch (single-goroutine): the dispatch copy of the
 	// node's output buffer and the per-destination coalescing group.
@@ -54,9 +70,13 @@ func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Ru
 		// Fabric with a channel inbox (memnet): the event loop selects
 		// on it directly — no forwarder goroutine, one less handoff per
 		// packet.
-		go r.loop(cr.RecvChan(), cr.Closed())
+		inbox := cr.RecvChan()
+		r.depth = func() int { return len(inbox) }
+		RunnerGoroutines.Add(1)
+		go r.loop(inbox, cr.Closed())
 	} else {
 		packets := make(chan transport.Packet, 1024)
+		r.depth = func() int { return len(packets) }
 		go func() {
 			for {
 				p, err := ep.Recv()
@@ -71,9 +91,20 @@ func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Ru
 				}
 			}
 		}()
+		RunnerGoroutines.Add(1)
 		go r.loop(packets, nil)
 	}
 	return r, nil
+}
+
+// InboxDepth returns the runner's current receive backlog — the
+// instantaneous form of the InboxHighWater mark, summed per group by
+// the queue-depth gauges.
+func (r *Runner) InboxDepth() int {
+	if r.depth == nil {
+		return 0
+	}
+	return r.depth()
 }
 
 // loop is the node's event loop. packets either closes on shutdown
@@ -83,6 +114,7 @@ func StartRunner(n *Node, fabric transport.Fabric, tickEvery time.Duration) (*Ru
 //ring:wallclock real-time ticker driving the node's virtual clock
 func (r *Runner) loop(packets <-chan transport.Packet, epClosed <-chan struct{}) {
 	defer close(r.done)
+	defer RunnerGoroutines.Add(-1)
 	ticker := time.NewTicker(r.ticks)
 	defer ticker.Stop()
 	for {

@@ -9,12 +9,25 @@
 // Besides scalar operations the package provides slice kernels
 // (MulSlice, MulSliceXor, XorSlice) that apply one coefficient to a
 // whole buffer. These are the inner loops of Reed-Solomon encoding,
-// decoding, and delta parity updates, so they use a per-coefficient
-// 256-entry product table and 8-way unrolling rather than log/exp
-// lookups per byte.
+// decoding, and delta parity updates, so they process eight bytes per
+// 64-bit word: each word is split into four 16-bit halves and mapped
+// through a per-coefficient 65536-entry product table whose entries
+// are the pairwise products of both bytes — the split-table scheme of
+// GF-Complete's region operations, widened from nibbles to bytes
+// because scalar Go has no PSHUFB. XorSlice (multiplication by one,
+// the first parity row of our Cauchy matrices) defers to
+// crypto/subtle.XORBytes, which the runtime implements with the
+// platform's vector ISA. The byte-at-a-time kernels remain as
+// MulSliceRef/MulSliceXorRef/XorSliceRef reference implementations,
+// used by the differential and fuzz tests to pin bit-exactness.
 package gf
 
-import "fmt"
+import (
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+)
 
 // Poly is the primitive polynomial defining the field, with the x^8
 // term included (0x11d = x^8+x^4+x^3+x^2+1).
@@ -37,6 +50,13 @@ var (
 	mulTbl [256][256]byte
 	// invTbl[x] = x^-1; invTbl[0] unused.
 	invTbl [256]byte
+	// wordTbl[c] is the 65536-entry split product table for the
+	// word-wide kernels: entry i is the product of c with both bytes
+	// of i, packed in the same byte order (see wordTable). Each table
+	// is 128 KiB, so rows are built lazily on first use of the
+	// coefficient and published with an atomic CAS; an RS(k,m) code
+	// touches only the coefficients of its coding matrix.
+	wordTbl [256]atomic.Pointer[[1 << 16]uint16]
 )
 
 func init() {
@@ -134,11 +154,166 @@ func MulTable(c byte) *[256]byte {
 	return &mulTbl[c]
 }
 
+// wordTable returns the split product table for coefficient c,
+// building and publishing it on first use. Multiplication in GF(2^8)
+// is byte-local, so applying the table to a 16-bit lane multiplies
+// both bytes at once; four lane lookups cover a 64-bit word.
+//
+//ring:hotpath
+func wordTable(c byte) *[1 << 16]uint16 {
+	if t := wordTbl[c].Load(); t != nil {
+		return t
+	}
+	return buildWordTable(c)
+}
+
+// buildWordTable materializes wordTbl[c]. Concurrent builders race
+// benignly: the CAS keeps the first published table, and every build
+// produces identical contents.
+//
+//ring:hotpath-stop cold one-time table construction (128 KiB allocation)
+func buildWordTable(c byte) *[1 << 16]uint16 {
+	t := new([1 << 16]uint16)
+	row := &mulTbl[c]
+	for i := range t {
+		t[i] = uint16(row[i&0xff]) | uint16(row[i>>8])<<8
+	}
+	wordTbl[c].CompareAndSwap(nil, t)
+	return wordTbl[c].Load()
+}
+
+// WarmTables pre-builds the split product tables for the given
+// coefficients. Encoders call it at construction with their coding
+// matrix so the first write of a connection never pays the 128 KiB
+// table build inside the commit path.
+func WarmTables(coeffs ...byte) {
+	for _, c := range coeffs {
+		if c > 1 {
+			wordTable(c)
+		}
+	}
+}
+
+//ring:hotpath-stop cold panic constructor
+func panicLen(kernel string, ns, nd int) {
+	panic(fmt.Sprintf("gf: %s length mismatch %d != %d", kernel, ns, nd))
+}
+
 // MulSlice sets dst[i] = c*src[i] for all i. dst and src must have the
 // same length (it panics otherwise). c==0 zeroes dst; c==1 copies.
+//
+//ring:hotpath
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf: MulSlice length mismatch %d != %d", len(src), len(dst)))
+		panicLen("MulSlice", len(src), len(dst))
+	}
+	switch c {
+	case 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	t := wordTable(c)
+	// Slice-advance main loop: re-slicing by a constant after the
+	// length guard lets the compiler drop every bounds check in the
+	// 32-byte body (an indexed loop would re-check per load).
+	for len(src) >= 32 && len(dst) >= 32 {
+		w0 := binary.LittleEndian.Uint64(src[0:8])
+		w1 := binary.LittleEndian.Uint64(src[8:16])
+		w2 := binary.LittleEndian.Uint64(src[16:24])
+		w3 := binary.LittleEndian.Uint64(src[24:32])
+		r0 := uint64(t[w0&0xffff]) | uint64(t[w0>>16&0xffff])<<16 |
+			uint64(t[w0>>32&0xffff])<<32 | uint64(t[w0>>48])<<48
+		r1 := uint64(t[w1&0xffff]) | uint64(t[w1>>16&0xffff])<<16 |
+			uint64(t[w1>>32&0xffff])<<32 | uint64(t[w1>>48])<<48
+		r2 := uint64(t[w2&0xffff]) | uint64(t[w2>>16&0xffff])<<16 |
+			uint64(t[w2>>32&0xffff])<<32 | uint64(t[w2>>48])<<48
+		r3 := uint64(t[w3&0xffff]) | uint64(t[w3>>16&0xffff])<<16 |
+			uint64(t[w3>>32&0xffff])<<32 | uint64(t[w3>>48])<<48
+		binary.LittleEndian.PutUint64(dst[0:8], r0)
+		binary.LittleEndian.PutUint64(dst[8:16], r1)
+		binary.LittleEndian.PutUint64(dst[16:24], r2)
+		binary.LittleEndian.PutUint64(dst[24:32], r3)
+		src = src[32:]
+		dst = dst[32:]
+	}
+	row := &mulTbl[c]
+	for i := range src {
+		dst[i] = row[src[i]]
+	}
+}
+
+// MulSliceXor sets dst[i] ^= c*src[i] for all i. This is the kernel of
+// both parity generation and delta parity updates.
+//
+//ring:hotpath
+func MulSliceXor(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panicLen("MulSliceXor", len(src), len(dst))
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		// The first parity row of our (normalized Cauchy) coding
+		// matrices is all ones, so this dispatch routes a full 1/m of
+		// parity work through the vectorized XOR.
+		XorSlice(src, dst)
+		return
+	}
+	t := wordTable(c)
+	for len(src) >= 32 && len(dst) >= 32 {
+		w0 := binary.LittleEndian.Uint64(src[0:8])
+		w1 := binary.LittleEndian.Uint64(src[8:16])
+		w2 := binary.LittleEndian.Uint64(src[16:24])
+		w3 := binary.LittleEndian.Uint64(src[24:32])
+		r0 := uint64(t[w0&0xffff]) | uint64(t[w0>>16&0xffff])<<16 |
+			uint64(t[w0>>32&0xffff])<<32 | uint64(t[w0>>48])<<48
+		r1 := uint64(t[w1&0xffff]) | uint64(t[w1>>16&0xffff])<<16 |
+			uint64(t[w1>>32&0xffff])<<32 | uint64(t[w1>>48])<<48
+		r2 := uint64(t[w2&0xffff]) | uint64(t[w2>>16&0xffff])<<16 |
+			uint64(t[w2>>32&0xffff])<<32 | uint64(t[w2>>48])<<48
+		r3 := uint64(t[w3&0xffff]) | uint64(t[w3>>16&0xffff])<<16 |
+			uint64(t[w3>>32&0xffff])<<32 | uint64(t[w3>>48])<<48
+		binary.LittleEndian.PutUint64(dst[0:8], binary.LittleEndian.Uint64(dst[0:8])^r0)
+		binary.LittleEndian.PutUint64(dst[8:16], binary.LittleEndian.Uint64(dst[8:16])^r1)
+		binary.LittleEndian.PutUint64(dst[16:24], binary.LittleEndian.Uint64(dst[16:24])^r2)
+		binary.LittleEndian.PutUint64(dst[24:32], binary.LittleEndian.Uint64(dst[24:32])^r3)
+		src = src[32:]
+		dst = dst[32:]
+	}
+	row := &mulTbl[c]
+	for i := range src {
+		dst[i] ^= row[src[i]]
+	}
+}
+
+// XorSlice sets dst[i] ^= src[i] for all i (multiplication by 1).
+// subtle.XORBytes is the stdlib's vectorized XOR; dst aliasing dst
+// exactly is explicitly permitted by its contract.
+//
+//ring:hotpath
+func XorSlice(src, dst []byte) {
+	if len(src) != len(dst) {
+		panicLen("XorSlice", len(src), len(dst))
+	}
+	subtle.XORBytes(dst, dst, src)
+}
+
+// ------------------------------------------------ reference kernels
+//
+// The byte-at-a-time kernels the word-wide versions replaced. They
+// stay as the ground truth for differential and fuzz tests and as the
+// baseline the BENCH trajectory measures speedups against.
+
+// MulSliceRef is the byte-wise reference for MulSlice.
+func MulSliceRef(c byte, src, dst []byte) {
+	if len(src) != len(dst) {
+		panicLen("MulSliceRef", len(src), len(dst))
 	}
 	switch c {
 	case 0:
@@ -168,17 +343,16 @@ func MulSlice(c byte, src, dst []byte) {
 	}
 }
 
-// MulSliceXor sets dst[i] ^= c*src[i] for all i. This is the kernel of
-// both parity generation and delta parity updates.
-func MulSliceXor(c byte, src, dst []byte) {
+// MulSliceXorRef is the byte-wise reference for MulSliceXor.
+func MulSliceXorRef(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf: MulSliceXor length mismatch %d != %d", len(src), len(dst)))
+		panicLen("MulSliceXorRef", len(src), len(dst))
 	}
 	if c == 0 {
 		return
 	}
 	if c == 1 {
-		XorSlice(src, dst)
+		XorSliceRef(src, dst)
 		return
 	}
 	t := MulTable(c)
@@ -199,12 +373,10 @@ func MulSliceXor(c byte, src, dst []byte) {
 	}
 }
 
-// XorSlice sets dst[i] ^= src[i] for all i (multiplication by 1).
-// Word-at-a-time via unrolled byte ops; the compiler vectorizes this
-// shape well.
-func XorSlice(src, dst []byte) {
+// XorSliceRef is the byte-wise reference for XorSlice.
+func XorSliceRef(src, dst []byte) {
 	if len(src) != len(dst) {
-		panic(fmt.Sprintf("gf: XorSlice length mismatch %d != %d", len(src), len(dst)))
+		panicLen("XorSliceRef", len(src), len(dst))
 	}
 	n := len(src)
 	i := 0

@@ -52,6 +52,17 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 // MetricValue implements Var.
 func (g *Gauge) MetricValue() any { return g.Load() }
 
+// GaugeFunc is a gauge whose value is computed at scrape time from a
+// callback — for quantities the owner already tracks elsewhere (queue
+// backlogs, goroutine counts) where mirroring them into an atomic on
+// every change would put a store on the hot path for the benefit of
+// an occasional scraper. The callback must be safe to call from any
+// goroutine.
+type GaugeFunc func() int64
+
+// MetricValue implements Var.
+func (f GaugeFunc) MetricValue() any { return f() }
+
 // MaxGauge tracks the high-water mark of an observed quantity (queue
 // depths, pipeline occupancy). Observe is wait-free in the common case
 // where the mark does not move.

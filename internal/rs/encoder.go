@@ -39,7 +39,14 @@ func NewEncoder(k, m int) (*Encoder, error) {
 	if k+m > 256 {
 		return nil, fmt.Errorf("rs: k+m must be <= 256, got %d", k+m)
 	}
-	return &Encoder{k: k, m: m, h: buildCodingMatrix(k, m)}, nil
+	e := &Encoder{k: k, m: m, h: buildCodingMatrix(k, m)}
+	// Pre-build the word-wide product tables for every generator
+	// coefficient so the lazy 128 KiB builds happen here, not on the
+	// first encode of the commit path.
+	for j := 0; j < m; j++ {
+		gf.WarmTables(e.h[k+j]...)
+	}
+	return e, nil
 }
 
 // buildCodingMatrix produces H = [I; G] with the property that any k
@@ -151,8 +158,11 @@ func (e *Encoder) Encode(data [][]byte) ([][]byte, error) {
 	for j := 0; j < e.m; j++ {
 		p := make([]byte, size)
 		row := e.h[e.k+j]
-		for i, d := range data {
-			gf.MulSliceXor(row[i], d, p)
+		// First shard multiplies straight into p (it is fresh zeros);
+		// the rest accumulate.
+		gf.MulSlice(row[0], data[0], p)
+		for i := 1; i < len(data); i++ {
+			gf.MulSliceXor(row[i], data[i], p)
 		}
 		parity[j] = p
 	}
@@ -175,11 +185,11 @@ func (e *Encoder) EncodeInto(data, parity [][]byte) error {
 			return ErrShardSize
 		}
 		row := e.h[e.k+j]
-		for x := range p {
-			p[x] = 0
-		}
-		for i, d := range data {
-			gf.MulSliceXor(row[i], d, p)
+		// The first multiply overwrites p, so no zeroing pass is
+		// needed before the accumulating XORs.
+		gf.MulSlice(row[0], data[0], p)
+		for i := 1; i < len(data); i++ {
+			gf.MulSliceXor(row[i], data[i], p)
 		}
 	}
 	return nil
@@ -275,8 +285,9 @@ func (e *Encoder) Reconstruct(shards [][]byte) error {
 				continue
 			}
 			out := make([]byte, size)
-			for c, in := range inputs {
-				gf.MulSliceXor(dec[i][c], in, out)
+			gf.MulSlice(dec[i][0], inputs[0], out)
+			for c := 1; c < len(inputs); c++ {
+				gf.MulSliceXor(dec[i][c], inputs[c], out)
 			}
 			shards[i] = out
 		}
@@ -290,7 +301,8 @@ func (e *Encoder) Reconstruct(shards [][]byte) error {
 		}
 		out := make([]byte, size)
 		row := e.h[e.k+j]
-		for i := 0; i < e.k; i++ {
+		gf.MulSlice(row[0], shards[0], out)
+		for i := 1; i < e.k; i++ {
 			gf.MulSliceXor(row[i], shards[i], out)
 		}
 		shards[e.k+j] = out

@@ -30,6 +30,9 @@ package srs
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ring/internal/gf"
 	"ring/internal/rs"
@@ -173,26 +176,89 @@ func (l *Layout) StripeMembers(t int) []int {
 // EncodeStretched computes the parity blocks for l logical data
 // blocks. data must contain exactly L equally sized blocks. The result
 // is indexed parity[r][t]: parity node r, stripe offset t.
+//
+// Stripes are independent RS codewords, so large encodes (at least
+// parallelEncodeBytes of data per stripe) are fanned out across
+// GOMAXPROCS workers; see EncodeStretchedParallel for explicit
+// control.
 func (l *Layout) EncodeStretched(data [][]byte) ([][][]byte, error) {
+	workers := 1
+	if l.Stripes() > 1 && len(data) == l.L && len(data[0])*l.K >= parallelEncodeBytes {
+		workers = 0 // let EncodeStretchedParallel pick GOMAXPROCS
+	}
+	return l.EncodeStretchedParallel(data, workers)
+}
+
+// parallelEncodeBytes is the per-stripe data volume below which the
+// goroutine fan-out of EncodeStretched costs more than it saves.
+const parallelEncodeBytes = 64 << 10
+
+// EncodeStretchedParallel is EncodeStretched with an explicit worker
+// count: the Stripes() independent RS stripes are encoded by
+// min(workers, stripes) goroutines. workers <= 0 selects GOMAXPROCS;
+// workers == 1 encodes inline with no goroutines.
+func (l *Layout) EncodeStretchedParallel(data [][]byte, workers int) ([][][]byte, error) {
 	if len(data) != l.L {
 		return nil, fmt.Errorf("srs: got %d logical blocks, want %d", len(data), l.L)
 	}
+	stripes := l.Stripes()
 	parity := make([][][]byte, l.M)
 	for r := range parity {
-		parity[r] = make([][]byte, l.Stripes())
+		parity[r] = make([][]byte, stripes)
 	}
-	for t := 0; t < l.Stripes(); t++ {
+	encodeStripe := func(t int) error {
 		stripe := make([][]byte, l.K)
 		for j := 0; j < l.K; j++ {
 			stripe[j] = data[l.BlockAt(j, t)]
 		}
 		ps, err := l.enc.Encode(stripe)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for r := 0; r < l.M; r++ {
 			parity[r][t] = ps[r]
 		}
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > stripes {
+		workers = stripes
+	}
+	if workers <= 1 {
+		for t := 0; t < stripes; t++ {
+			if err := encodeStripe(t); err != nil {
+				return nil, err
+			}
+		}
+		return parity, nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		firstEr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= stripes {
+					return
+				}
+				if err := encodeStripe(t); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
 	}
 	return parity, nil
 }

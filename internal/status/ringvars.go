@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"ring/internal/core"
@@ -113,11 +114,21 @@ type ClusterStats struct {
 	Memgests        map[proto.MemgestID]core.MemgestOpCounts
 	CommitRep       metrics.HistSnapshot
 	CommitSRS       metrics.HistSnapshot
+	// RunnerGoroutines sums core.runner_goroutines across the scraped
+	// processes: the runner event loops actually executing — one per
+	// (node, group) pair under memgest-group sharding.
+	RunnerGoroutines int64
+	// GroupQueueDepth sums core.group.<g>.queue_depth per group: the
+	// instantaneous inbox backlog of each group's runners.
+	GroupQueueDepth map[int]int64
 }
 
 // Aggregate folds per-node ringvars into cluster totals.
 func Aggregate(nodes []Ringvars) ClusterStats {
-	cs := ClusterStats{Memgests: make(map[proto.MemgestID]core.MemgestOpCounts)}
+	cs := ClusterStats{
+		Memgests:        make(map[proto.MemgestID]core.MemgestOpCounts),
+		GroupQueueDepth: make(map[int]int64),
+	}
 	for _, rv := range nodes {
 		cs.Nodes++
 		n := rv.Node
@@ -133,8 +144,47 @@ func Aggregate(nodes []Ringvars) ClusterStats {
 		}
 		cs.CommitRep = cs.CommitRep.Merge(n.CommitRep)
 		cs.CommitSRS = cs.CommitSRS.Merge(n.CommitSRS)
+		for name, v := range rv.Process {
+			iv, ok := processInt64(v)
+			if !ok {
+				continue
+			}
+			if name == "core.runner_goroutines" {
+				cs.RunnerGoroutines += iv
+			} else if g, ok := groupOfQueueGauge(name); ok {
+				cs.GroupQueueDepth[g] += iv
+			}
+		}
 	}
 	return cs
+}
+
+// processInt64 widens a process-registry value to int64. Values arrive
+// as int64/uint64 from an in-process snapshot but as float64 after a
+// JSON round trip through /debug/ringvars.
+func processInt64(v any) (int64, bool) {
+	switch x := v.(type) {
+	case int64:
+		return x, true
+	case uint64:
+		return int64(x), true
+	case float64:
+		return int64(x), true
+	}
+	return 0, false
+}
+
+// groupOfQueueGauge parses "core.group.<g>.queue_depth" names.
+func groupOfQueueGauge(name string) (int, bool) {
+	const prefix, suffix = "core.group.", ".queue_depth"
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.Atoi(name[len(prefix) : len(name)-len(suffix)])
+	if err != nil || g < 0 {
+		return 0, false
+	}
+	return g, true
 }
 
 func addStats(dst *core.Stats, s core.Stats) {
@@ -158,6 +208,16 @@ func addStats(dst *core.Stats, s core.Stats) {
 func RenderStats(w io.Writer, cs ClusterStats) {
 	fmt.Fprintf(w, "nodes=%d events=%d msgs_out=%d packets_out=%d recovery_backlog=%d\n",
 		cs.Nodes, cs.Events, cs.MsgsOut, cs.PacketsOut, cs.RecoveryBacklog)
+	fmt.Fprintf(w, "runners: goroutines=%d", cs.RunnerGoroutines)
+	gs := make([]int, 0, len(cs.GroupQueueDepth))
+	for g := range cs.GroupQueueDepth {
+		gs = append(gs, g)
+	}
+	sort.Ints(gs)
+	for _, g := range gs {
+		fmt.Fprintf(w, " group%d_queue=%d", g, cs.GroupQueueDepth[g])
+	}
+	fmt.Fprintln(w)
 	st := cs.Stats
 	fmt.Fprintf(w, "ops: puts=%d gets=%d deletes=%d moves=%d commits=%d parked_gets=%d\n",
 		st.Puts, st.Gets, st.Deletes, st.Moves, st.Commits, st.ParkedGets)

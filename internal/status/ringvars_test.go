@@ -83,6 +83,11 @@ func TestRingvarsAggregateExactCounts(t *testing.T) {
 	if cs.Nodes != len(addrs) {
 		t.Fatalf("aggregated %d of %d nodes", cs.Nodes, len(addrs))
 	}
+	// The runner gauge crossed the HTTP+JSON boundary: every scraped
+	// document reports this process's runners, at least one per node.
+	if cs.RunnerGoroutines < int64(len(addrs)) {
+		t.Fatalf("RunnerGoroutines = %d, want >= %d", cs.RunnerGoroutines, len(addrs))
+	}
 	if cs.Stats.Puts != 10 || cs.Stats.Gets != 5 || cs.Stats.Deletes != 2 {
 		t.Fatalf("cluster ops: puts=%d gets=%d deletes=%d", cs.Stats.Puts, cs.Stats.Gets, cs.Stats.Deletes)
 	}
@@ -132,6 +137,39 @@ func TestRingvarsAggregateExactCounts(t *testing.T) {
 	}
 	if got := strings.Count(buf.String(), "--- "); got != 2 {
 		t.Fatalf("watch rendered %d rounds, want 2:\n%s", got, buf.String())
+	}
+}
+
+// TestAggregateProcessGauges checks that the runner-goroutine and
+// group queue-depth gauges fold from the process section of ringvars
+// into the cluster view — including values that went through a JSON
+// round trip and therefore arrive as float64.
+func TestAggregateProcessGauges(t *testing.T) {
+	nodes := []Ringvars{
+		{Process: map[string]any{
+			"core.runner_goroutines":   float64(3), // as decoded from JSON
+			"core.group.0.queue_depth": float64(2),
+			"core.group.1.queue_depth": int64(5), // as from an in-process snapshot
+			"transport.something":      "not a number",
+		}},
+		{Process: map[string]any{
+			"core.runner_goroutines":   int64(2),
+			"core.group.0.queue_depth": uint64(1),
+			"core.group.oops":          float64(9), // malformed name: ignored
+		}},
+	}
+	cs := Aggregate(nodes)
+	if cs.RunnerGoroutines != 5 {
+		t.Fatalf("RunnerGoroutines = %d, want 5", cs.RunnerGoroutines)
+	}
+	if cs.GroupQueueDepth[0] != 3 || cs.GroupQueueDepth[1] != 5 || len(cs.GroupQueueDepth) != 2 {
+		t.Fatalf("GroupQueueDepth = %v, want {0:3 1:5}", cs.GroupQueueDepth)
+	}
+
+	var buf bytes.Buffer
+	RenderStats(&buf, cs)
+	if out := buf.String(); !strings.Contains(out, "runners: goroutines=5 group0_queue=3 group1_queue=5") {
+		t.Fatalf("render missing runner line:\n%s", out)
 	}
 }
 

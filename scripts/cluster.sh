@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# cluster.sh — one-command multi-process benchmark: build ringd and
+# ringload, launch an N-node Ring cluster as real OS processes over
+# TCP loopback, drive it with the load generator, and tear it down.
+#
+# Usage:
+#   scripts/cluster.sh                    # 5-node rep3+srs3.2, BENCH suite
+#   scripts/cluster.sh -mode open -rate 5000 -duration 10s
+#
+# Environment knobs:
+#   NODES=5        cluster size (shards=3, redundant=2 fixed by default)
+#   RING_GROUPS=1  memgest groups per node (one core each; see ringd -groups)
+#   BASE_PORT=7400 first TCP port (node i uses BASE_PORT + i*RING_GROUPS)
+#   BLOCK_SIZE=    SRS logical block size; the SRS memgest holds
+#                  lcm(k,s) blocks total, so it must cover the key
+#                  space times a couple of retained versions
+#                  (default 4 MiB, ~12 MiB of SRS capacity)
+#   DURATION=5s    measurement window per scheme
+#   BENCH_OUT=     write a benchjson trajectory file (e.g. BENCH_6.json)
+#   PREV_DIR=      gate against committed BENCH_*.json in this directory
+#   ISSUE=6        issue number recorded in BENCH_OUT
+#
+# Any extra arguments are passed to ringload verbatim; with none, the
+# full BENCH suite (GF kernels + closed-loop rep3 and srs3.2) runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES="${NODES:-5}"
+# RING_GROUPS, not GROUPS: bash reserves GROUPS (the user's group
+# list) and silently ignores assignments to it.
+RING_GROUPS="${RING_GROUPS:-1}"
+case "$NODES" in ''|*[!0-9]*|0) NODES=5 ;; esac
+case "$RING_GROUPS" in ''|*[!0-9]*|0) RING_GROUPS=1 ;; esac
+BASE_PORT="${BASE_PORT:-7400}"
+BLOCK_SIZE="${BLOCK_SIZE:-$((4 << 20))}"
+DURATION="${DURATION:-5s}"
+ISSUE="${ISSUE:-6}"
+
+mkdir -p bin
+go build -o bin/ringd ./cmd/ringd
+go build -o bin/ringload ./cmd/ringload
+
+ringd_log="$(mktemp)"
+./bin/ringd -launch "$NODES" -base-port "$BASE_PORT" -groups "$RING_GROUPS" \
+  -shards 3 -redundant 2 -memgests rep3,srs3.2 -block-size "$BLOCK_SIZE" \
+  >"$ringd_log" 2>&1 &
+launcher=$!
+trap 'kill "$launcher" 2>/dev/null || true; wait "$launcher" 2>/dev/null || true' EXIT
+
+# The launcher prints RING_NODES=<addr,...> once the children are spawned.
+nodes=""
+for _ in $(seq 1 50); do
+  nodes="$(sed -n 's/^RING_NODES=//p' "$ringd_log" | head -1)"
+  [ -n "$nodes" ] && break
+  kill -0 "$launcher" 2>/dev/null || { cat "$ringd_log"; echo "cluster.sh: launcher died" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$nodes" ] || { cat "$ringd_log"; echo "cluster.sh: no RING_NODES from launcher" >&2; exit 1; }
+echo "cluster.sh: cluster up on $nodes (groups=$RING_GROUPS)"
+
+args=(-nodes "$nodes" -groups "$RING_GROUPS" -duration "$DURATION" -issue "$ISSUE")
+[ -n "${BENCH_OUT:-}" ] && args+=(-bench-out "$BENCH_OUT")
+[ -n "${PREV_DIR:-}" ] && args+=(-prev-dir "$PREV_DIR")
+if [ "$#" -gt 0 ]; then
+  args+=("$@")
+else
+  args+=(-suite)
+fi
+
+rc=0
+./bin/ringload "${args[@]}" || rc=$?
+[ "$rc" -eq 0 ] || cat "$ringd_log" >&2
+exit "$rc"
