@@ -13,23 +13,31 @@
 #      module-proxy access; offline runs skip them with a warning
 #      while CI (which always has network) enforces them.
 #   6. fuzz smoke: each fuzz target runs for 10s — long enough to
-#      catch a round-trip regression, short enough for every push
+#      catch a round-trip regression, short enough for every push.
+#      FuzzWALReplay is the durability one: arbitrary bytes as a WAL
+#      segment must replay without panicking and re-replay identically.
 #   7. the concurrency-heavy packages under the race detector
 #      (the simulator-driven experiments are legitimately slow there,
-#      hence the generous timeout)
+#      hence the generous timeout); the durable path — replog engine,
+#      core crash-recovery e2e, sim disk fault plane — rides in
+#      ./internal/... and so runs under -race here too
 #   8. bench smoke: every benchmark compiles and runs one iteration,
 #      output saved to bench.txt (uploaded as a CI artifact)
 #   9. chaos smoke: three fixed ringchaos seeds through the full
 #      seed -> schedule -> workload -> linearizability-check pipeline,
-#      hard-bounded at 30s. The deep seed sweep runs nightly
+#      plus three -durable seeds over the disk fault plane (kill -9 +
+#      recover-from-disk, WAL corruption, fsync faults), hard-bounded
+#      at 30s each. The deep seed sweeps run nightly
 #      (.github/workflows/nightly-chaos.yml); this is the per-push
 #      canary that the chaos harness itself still works.
 #  10. BENCH trajectory: scripts/cluster.sh boots a real 5-process
 #      cluster over TCP, drives it with cmd/ringload (GF kernels +
-#      closed-loop rep3 and srs3.2), writes BENCH_6.json, and fails on
-#      a >10% ops/sec or GB/s regression against the newest committed
-#      BENCH_*.json (a no-op while the trajectory has no earlier
-#      point). The file is uploaded as a CI artifact.
+#      closed-loop rep3 and srs3.2), then re-runs the suite on durable
+#      clusters (DURABLE=1: -data-dir with fsync=always and
+#      fsync=interval — the durability-tax rows), writes BENCH_7.json,
+#      and fails on a >10% ops/sec or GB/s regression against the
+#      newest committed BENCH_*.json (a no-op while the trajectory has
+#      no earlier point). The file is uploaded as a CI artifact.
 set -ex
 
 # Version pins for the external analyzers. CI caches on these; bump
@@ -57,11 +65,13 @@ fi
 go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
 go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
 go test -run=NONE -fuzz=FuzzGFKernels -fuzztime=10s ./internal/gf/
+go test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal/
 
 go test -race -timeout 900s ./internal/...
 go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
 
 go build -o bin/ringchaos ./cmd/ringchaos
 timeout 30 ./bin/ringchaos -seeds 1:3 -v
+timeout 30 ./bin/ringchaos -durable -seeds 1:3 -v
 
-BENCH_OUT=BENCH_6.json PREV_DIR=. DURATION=3s timeout 120 scripts/cluster.sh
+DURABLE=1 BENCH_OUT=BENCH_7.json PREV_DIR=. DURATION=3s timeout 300 scripts/cluster.sh

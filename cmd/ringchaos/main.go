@@ -13,6 +13,10 @@
 //	                                   replay an explicit schedule
 //	ringchaos -seed 42 -bug            inject the ack-before-quorum bug
 //	                                   (the checker must catch it)
+//	ringchaos -durable -seeds 1:100    crash-recovery schedules over the
+//	                                   disk fault plane (kill -9 +
+//	                                   recover-from-disk, WAL corruption,
+//	                                   fsync faults)
 //	ringchaos -seeds 1:20 -shrink=false -v
 //	ringchaos -seeds 1:500 -dump out/    write failure artifacts to out/
 //
@@ -49,6 +53,7 @@ func run(args []string, out, errw io.Writer) int {
 	seeds := fs.String("seeds", "", "inclusive seed range lo:hi (overrides -seed)")
 	schedule := fs.String("schedule", "", "explicit nemesis schedule (overrides the generated one)")
 	bug := fs.Bool("bug", false, "inject the ack-before-quorum bug (validates the checker)")
+	durable := fs.Bool("durable", false, "disk fault plane: durable nodes, crash-recovery schedules")
 	shrink := fs.Bool("shrink", true, "greedily shrink failing schedules")
 	active := fs.Duration("active", 0, "nemesis window in virtual time (default 40ms)")
 	budget := fs.Int("budget", 0, "linearizability search budget per key (default 2e6 states)")
@@ -85,6 +90,7 @@ func run(args []string, out, errw io.Writer) int {
 			Seed:        s,
 			Schedule:    explicit,
 			UnsafeAck:   *bug,
+			Durable:     *durable,
 			Active:      *active,
 			CheckBudget: *budget,
 		}
@@ -106,6 +112,9 @@ func run(args []string, out, errw io.Writer) int {
 			repro := fmt.Sprintf("ringchaos -seed %d", s)
 			if *bug {
 				repro += " -bug"
+			}
+			if *durable {
+				repro += " -durable"
 			}
 			if explicit != nil {
 				repro += fmt.Sprintf(" -schedule '%s'", explicit)

@@ -21,6 +21,15 @@
 // keys between groups with core.GroupOf; cmd/ringload does this
 // automatically.
 //
+// Durable storage (-data-dir DIR): by default nodes are volatile, the
+// paper's model. With -data-dir each hosted group persists committed
+// state under DIR/group-<g> through a WAL + Bitcask engine; -fsync
+// picks the group-commit policy (always / interval / never) and
+// -fsync-interval its period. A node restarted over an existing
+// directory recovers from it and rejoins the cluster holding all
+// entries up to its durable commit index, syncing only the delta. In
+// launcher mode each child is started with -data-dir DIR/node-<i>.
+//
 // Procfile-style launcher (-launch N): instead of starting N processes
 // by hand, one parent re-execs itself once per node on consecutive
 // localhost ports, supervises the children, and tears the whole
@@ -41,6 +50,7 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -48,8 +58,10 @@ import (
 
 	"ring/internal/core"
 	"ring/internal/proto"
+	"ring/internal/replog"
 	"ring/internal/status"
 	"ring/internal/transport"
+	"ring/internal/wal"
 )
 
 func main() {
@@ -62,6 +74,9 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 50*time.Millisecond, "leader heartbeat period")
 	failAfter := flag.Duration("fail-after", 250*time.Millisecond, "failure detection threshold")
 	groups := flag.Int("groups", 1, "independent memgest groups hosted by this process (group g listens on the node port + g)")
+	dataDir := flag.String("data-dir", "", "durable storage directory (empty = volatile, the paper's model); a restart over an existing directory recovers from it")
+	fsyncMode := flag.String("fsync", "always", "fsync policy for the durable store: always, interval, or never")
+	fsyncEvery := flag.Duration("fsync-interval", 5*time.Millisecond, "group-commit period under -fsync interval")
 	httpAddr := flag.String("http", "", "optional HTTP monitoring address serving /status, /metrics, /debug/ringvars and /debug/trace (e.g. :8080)")
 	launch := flag.Int("launch", 0, "launcher mode: spawn a whole N-node cluster on localhost and supervise it")
 	basePort := flag.Int("base-port", 7400, "launcher mode: first TCP port (node i uses base-port + i*groups)")
@@ -69,7 +84,7 @@ func main() {
 	flag.Parse()
 
 	if *launch > 0 {
-		os.Exit(runLauncher(*launch, *basePort, *httpBase, *groups))
+		os.Exit(runLauncher(*launch, *basePort, *httpBase, *groups, *dataDir))
 	}
 
 	addrs := splitAddrs(*nodes)
@@ -103,6 +118,15 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var durOpts replog.DurableOptions
+	if *dataDir != "" {
+		policy, err := replog.ParseFsyncPolicy(*fsyncMode)
+		if err != nil {
+			log.Fatalf("ringd: %v", err)
+		}
+		durOpts = replog.DurableOptions{Policy: policy, Interval: *fsyncEvery}
+	}
+
 	// One runner per hosted group, each group on its own fabric: group
 	// g of node i lives at addrs[i] with the port shifted by g. Groups
 	// never exchange messages, so the fabrics stay fully disjoint.
@@ -116,7 +140,10 @@ func main() {
 			}
 			fabric.Map(core.NodeAddr(proto.NodeID(i)), ga)
 		}
-		node := core.New(proto.NodeID(*id), cfg.Clone(), spec.Opts)
+		node, err := bootNode(proto.NodeID(*id), cfg, spec.Opts, *dataDir, g, durOpts)
+		if err != nil {
+			log.Fatalf("ringd: group %d: %v", g, err)
+		}
 		r, err := core.StartRunner(node, fabric, 0)
 		if err != nil {
 			log.Fatalf("ringd: group %d: %v", g, err)
@@ -141,16 +168,45 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Stop closes each group's durable store cleanly (flush + fsync),
+	// so a SIGTERM'd node restarts with zero delta to resync.
 	for _, r := range runners {
 		r.Stop()
 	}
 	log.Printf("ringd: node %d stopped", *id)
 }
 
+// bootNode constructs one group's state machine. Without -data-dir it
+// is a plain volatile node. With -data-dir, group g persists under
+// <data-dir>/group-<g>: a first boot (empty directory) starts a normal
+// node with durability attached, while a restart over existing state
+// recovers it and boots quarantined — the node rejoins the running
+// cluster advertising its durable state and delta-syncs the rest.
+func bootNode(id proto.NodeID, cfg *proto.Config, opts core.Options, dataDir string, group int, durOpts replog.DurableOptions) (*core.Node, error) {
+	if dataDir == "" {
+		return core.New(id, cfg.Clone(), opts), nil
+	}
+	dir := filepath.Join(dataDir, fmt.Sprintf("group-%d", group))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	d, err := replog.OpenDurable(wal.DirFS(dir), durOpts)
+	if err != nil {
+		return nil, fmt.Errorf("opening durable store in %s: %v", dir, err)
+	}
+	if len(d.Recovered()) > 0 {
+		log.Printf("ringd: node %d group %d recovering from %s", id, group, dir)
+		return core.NewRecovered(id, cfg.Clone(), opts, d), nil
+	}
+	n := core.New(id, cfg.Clone(), opts)
+	n.SetDurable(d)
+	return n, nil
+}
+
 // runLauncher spawns one child ringd per node on consecutive localhost
 // ports, forwarding the shared cluster flags, and supervises them: the
 // cluster dies as a unit on Ctrl-C/SIGTERM or when any child exits.
-func runLauncher(n, basePort, httpBase, groups int) int {
+func runLauncher(n, basePort, httpBase, groups int, dataDir string) int {
 	if groups < 1 {
 		groups = 1
 	}
@@ -171,7 +227,7 @@ func runLauncher(n, basePort, httpBase, groups int) int {
 	shared := []string{"-nodes", nodeList, "-groups", strconv.Itoa(groups)}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "launch", "base-port", "http-base", "id", "nodes", "groups", "http":
+		case "launch", "base-port", "http-base", "id", "nodes", "groups", "http", "data-dir":
 			return
 		}
 		shared = append(shared, "-"+f.Name, f.Value.String())
@@ -181,6 +237,11 @@ func runLauncher(n, basePort, httpBase, groups int) int {
 	exited := make(chan int, n)
 	for i := 0; i < n; i++ {
 		args := append([]string{"-id", strconv.Itoa(i)}, shared...)
+		if dataDir != "" {
+			// Each child owns its node's subdirectory, like each real
+			// machine owns its disk.
+			args = append(args, "-data-dir", filepath.Join(dataDir, fmt.Sprintf("node-%d", i)))
+		}
 		if httpBase > 0 {
 			args = append(args, "-http", fmt.Sprintf("127.0.0.1:%d", httpBase+i))
 		}

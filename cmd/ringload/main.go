@@ -76,6 +76,8 @@ type config struct {
 	repScheme string
 	srsScheme string
 	benchOut  string
+	merge     bool
+	kernels   bool
 	issue     int
 	prevDir   string
 	tolerance float64
@@ -109,8 +111,10 @@ func main() {
 	flag.IntVar(&c.srsMG, "srs-memgest", 2, "suite: erasure-coded memgest ID")
 	flag.StringVar(&c.repScheme, "rep-scheme", "rep3", "suite: scheme label of -rep-memgest")
 	flag.StringVar(&c.srsScheme, "srs-scheme", "srs3.2", "suite: scheme label of -srs-memgest")
-	flag.StringVar(&c.benchOut, "bench-out", "", "write a benchjson result to this path (e.g. BENCH_6.json)")
-	flag.IntVar(&c.issue, "issue", 6, "issue number recorded in -bench-out")
+	flag.StringVar(&c.benchOut, "bench-out", "", "write a benchjson result to this path (e.g. BENCH_7.json)")
+	flag.BoolVar(&c.merge, "bench-merge", false, "append this run's cluster rows to an existing -bench-out file (multi-boot trajectories, e.g. volatile + durable passes)")
+	flag.BoolVar(&c.kernels, "kernels", true, "suite: measure the GF kernels (disable on merge passes that only add cluster rows)")
+	flag.IntVar(&c.issue, "issue", 7, "issue number recorded in -bench-out")
 	flag.StringVar(&c.prevDir, "prev-dir", "", "directory holding committed BENCH_*.json to gate against (empty = no gate)")
 	flag.Float64Var(&c.tolerance, "tolerance", 0.10, "fractional regression tolerance for the gate")
 	flag.IntVar(&c.kernelB, "kernel-bytes", 4096, "buffer size for the suite's GF kernel measurements")
@@ -124,7 +128,7 @@ func main() {
 func run(c config) error {
 	result := benchjson.Result{Schema: benchjson.Schema, Issue: c.issue, Host: benchjson.CurrentHost()}
 
-	if c.suite {
+	if c.suite && c.kernels {
 		fmt.Printf("== GF kernels (%d B buffers) ==\n", c.kernelB)
 		result.Kernels = benchjson.MeasureGFKernels(c.kernelB)
 		for _, k := range result.Kernels {
@@ -167,6 +171,18 @@ func run(c config) error {
 	}
 
 	if c.benchOut != "" {
+		if c.merge {
+			if old, err := benchjson.Read(c.benchOut); err == nil {
+				// Earlier passes' rows come first; kernels survive from the
+				// pass that measured them.
+				if len(result.Kernels) == 0 {
+					result.Kernels = old.Kernels
+				}
+				result.Cluster = append(old.Cluster, result.Cluster...)
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
 		if err := benchjson.Write(c.benchOut, result); err != nil {
 			return err
 		}

@@ -1,0 +1,259 @@
+package bitcask
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ring/internal/wal"
+)
+
+func open(t *testing.T, fs wal.FS, opts Options) *DB {
+	t.Helper()
+	db, err := Open(fs, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func mustPut(t *testing.T, db *DB, key, val string) {
+	t.Helper()
+	if err := db.Put(key, []byte(val)); err != nil {
+		t.Fatalf("Put %s: %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, db *DB, key, want string) {
+	t.Helper()
+	val, ok, err := db.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get %s = %v ok=%v", key, err, ok)
+	}
+	if string(val) != want {
+		t.Fatalf("Get %s = %q, want %q", key, val, want)
+	}
+}
+
+func TestPutGetDeleteReopen(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	mustPut(t, db, "a", "1")
+	mustPut(t, db, "b", "2")
+	mustPut(t, db, "a", "1'")
+	if err := db.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete("never-existed"); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, db, "a", "1'")
+	if _, ok, err := db.Get("b"); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, fs, Options{})
+	if db2.Len() != 1 {
+		t.Fatalf("Len after reopen = %d, want 1", db2.Len())
+	}
+	mustGet(t, db2, "a", "1'")
+	if _, ok, err := db2.Get("b"); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("tombstone did not survive reopen")
+	}
+}
+
+func TestRotationAndCrossFileReads(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{SegmentBytes: 128})
+	for i := 0; i < 16; i++ {
+		mustPut(t, db, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d-%s", i, "padpadpadpad"))
+	}
+	if len(db.Files()) < 3 {
+		t.Fatalf("no rotation: files = %v", db.Files())
+	}
+	for i := 0; i < 16; i++ {
+		mustGet(t, db, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d-%s", i, "padpadpadpad"))
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := open(t, fs, Options{SegmentBytes: 128})
+	for i := 0; i < 16; i++ {
+		mustGet(t, db2, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d-%s", i, "padpadpadpad"))
+	}
+}
+
+func TestMergeWritesHintsAndDropsOldFiles(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{SegmentBytes: 128})
+	for i := 0; i < 12; i++ {
+		mustPut(t, db, fmt.Sprintf("k%d", i%4), fmt.Sprintf("gen%d", i))
+	}
+	if err := db.Delete("k3"); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Files()
+	if err := db.Merge(); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	for _, idx := range before {
+		if fs.FileSize(dataName(idx)) != 0 {
+			t.Fatalf("old data file %d survived the merge", idx)
+		}
+	}
+	// Every merged (sealed) file must have a hint.
+	files := db.Files()
+	for _, idx := range files[:len(files)-1] {
+		if fs.FileSize(hintName(idx)) == 0 {
+			t.Fatalf("merged file %d has no hint", idx)
+		}
+	}
+	mustGet(t, db, "k0", "gen8")
+	mustGet(t, db, "k1", "gen9")
+	mustGet(t, db, "k2", "gen10")
+	if _, ok, err := db.Get("k3"); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Fatal("deleted key resurrected by merge")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: the keydir rebuilds (from hints where present).
+	db2 := open(t, fs, Options{SegmentBytes: 128})
+	if db2.Len() != 3 {
+		t.Fatalf("Len after merge+reopen = %d, want 3", db2.Len())
+	}
+	mustGet(t, db2, "k0", "gen8")
+	// And the store keeps working past the merge generation.
+	mustPut(t, db2, "k9", "post-merge")
+	mustGet(t, db2, "k9", "post-merge")
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	mustPut(t, db, "synced", "value")
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, db, "torn", "this-record-is-not-synced")
+	fs.Crash(rand.New(rand.NewSource(11)))
+
+	db2 := open(t, fs, Options{})
+	if db2.Damaged() {
+		t.Fatal("torn tail must not count as damage")
+	}
+	mustGet(t, db2, "synced", "value")
+	// The truncated file must accept appends cleanly.
+	mustPut(t, db2, "after", "crash")
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3 := open(t, fs, Options{})
+	mustGet(t, db3, "after", "crash")
+}
+
+func TestBitFlipMarksDamaged(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	mustPut(t, db, "aaaa", "0123456789abcdef")
+	mustPut(t, db, "bbbb", "0123456789abcdef")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the first record's value region.
+	if !fs.FlipBit(dataName(1), int64(frameSize+4+3)*8) {
+		t.Fatal("FlipBit missed")
+	}
+	db2 := open(t, fs, Options{})
+	if !db2.Damaged() {
+		t.Fatal("bit flip in a fully-present record must mark the store damaged")
+	}
+}
+
+func TestRangeSortedAndComplete(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	mustPut(t, db, "c", "3")
+	mustPut(t, db, "a", "1")
+	mustPut(t, db, "b", "2")
+	var got []string
+	if err := db.Range(func(k string, v []byte) error {
+		got = append(got, k+"="+string(v))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a=1", "b=2", "c=3"}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeletePrefix(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	mustPut(t, db, "s1/a", "x")
+	mustPut(t, db, "s1/b", "y")
+	mustPut(t, db, "s2/a", "z")
+	n, err := db.DeletePrefix("s1/")
+	if err != nil || n != 2 {
+		t.Fatalf("DeletePrefix = %d, %v", n, err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d after prefix delete", db.Len())
+	}
+	mustGet(t, db, "s2/a", "z")
+}
+
+func TestEmptyValueRoundTrip(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{})
+	if err := db.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	val, ok, err := db.Get("empty")
+	if err != nil || !ok || len(val) != 0 {
+		t.Fatalf("empty value round trip = %q ok=%v err=%v", val, ok, err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := open(t, fs, Options{})
+	if _, ok, err := db2.Get("empty"); err != nil {
+		t.Fatal(err)
+	} else if !ok {
+		t.Fatal("empty value lost on reopen")
+	}
+}
+
+func TestLargeValues(t *testing.T) {
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{SegmentBytes: 1 << 16})
+	big := bytes.Repeat([]byte{0xAB}, 1<<15)
+	for i := 0; i < 4; i++ {
+		if err := db.Put(fmt.Sprintf("big%d", i), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		val, ok, err := db.Get(fmt.Sprintf("big%d", i))
+		if err != nil || !ok || !bytes.Equal(val, big) {
+			t.Fatalf("big value %d corrupted (ok=%v err=%v)", i, ok, err)
+		}
+	}
+}

@@ -160,6 +160,7 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 		}
 		cs.meta.Put(e)
 		vol.Add(key, ver, mgID)
+		n.persistAppend(st, shard, e)
 		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now)
 		return
 	}
@@ -224,6 +225,7 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 	// commit decision.
 	cs.meta.Put(e)
 	vol.Add(key, ver, mgID)
+	n.persistAppend(st, shard, e)
 
 	if need == 0 {
 		// Unreliable memgests commit immediately (Rep(1,s)).
@@ -255,6 +257,7 @@ func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Ve
 		return // purged concurrently (superseded before committing)
 	}
 	e.Rec.Committed = true
+	n.persistCommit(st, cs.shard, e)
 	n.Stats.Commits++
 	st.met.Commits.Inc()
 	if st.info.Scheme.Kind == proto.SchemeSRS {
@@ -393,6 +396,7 @@ func (n *Node) purgeVersion(shard uint32, key string, ref store.VersionRef) {
 	if e == nil {
 		return
 	}
+	n.persistPurge(ref.Memgest, shard, key, ref.Version, e.Seq)
 	if e.Ext.Len > 0 && cs.heap != nil {
 		cs.heap.Free(e.Ext)
 	}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"sort"
+
+	"ring/internal/proto"
+	"ring/internal/replog"
+	"ring/internal/store"
+)
+
+// This file wires the durable engine (internal/replog.Durable) into
+// the node state machine. Every mutation of a metadata table has a
+// persist hook; the hooks only buffer (group commit), and the hosting
+// runner calls SyncDurable at each event-batch boundary BEFORE any of
+// the batch's outputs are transmitted — so under fsync policy
+// "always", an acknowledged write is a durable write.
+//
+// Persist errors are sticky: after the first failed append or sync
+// the node must crash-stop (fsyncgate semantics — a node that cannot
+// promise durability must not keep acknowledging), which the runner
+// enforces by dropping the batch's outputs and halting the node.
+
+// SetDurable attaches a durable store to a freshly constructed node
+// (empty data directory). For a node restarting over an existing data
+// directory use NewRecovered instead.
+func (n *Node) SetDurable(d *replog.Durable) {
+	n.durable = d
+}
+
+// NewRecovered creates a node restarting after a crash WITH durable
+// state recovered from its data directory. Like NewRejoining it boots
+// quarantined — its roles in the current configuration are decided by
+// the leader — but its Join advertises the durable state, so a leader
+// re-admits it into the roles it held and the node resyncs the delta
+// from the group instead of refetching everything as an empty spare.
+func NewRecovered(id proto.NodeID, cfg *proto.Config, opts Options, d *replog.Durable) *Node {
+	n := NewRejoining(id, cfg, opts)
+	n.durable = d
+	n.durStash = d.Recovered()
+	return n
+}
+
+// HasDurable reports whether a durable store is attached.
+func (n *Node) HasDurable() bool { return n.durable != nil }
+
+// joinDurable reports whether the node's Join should advertise
+// recovered durable state (it holds committed entries worth keeping
+// its roles for).
+func (n *Node) joinDurable() bool {
+	for _, rs := range n.durStash {
+		if len(rs.Entries) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SyncDurable applies the fsync policy at an event-batch boundary.
+// The runner must call it BEFORE emitting the batch's outputs and
+// crash-stop the node on error.
+func (n *Node) SyncDurable() error {
+	if n.durable == nil {
+		return nil
+	}
+	if n.durableErr != nil {
+		return n.durableErr
+	}
+	if err := n.durable.MaybeSync(n.now); err != nil {
+		n.durableErr = err
+		return err
+	}
+	return nil
+}
+
+// CloseDurable flushes and closes the durable store (clean shutdown;
+// a crash simply skips this).
+func (n *Node) CloseDurable() error {
+	if n.durable == nil {
+		return nil
+	}
+	d := n.durable
+	n.durable = nil
+	return d.Close()
+}
+
+// persistErr records the first durable-layer error; every later hook
+// and SyncDurable observe it, so the failure surfaces at the next
+// batch boundary no matter which mutation hit it.
+func (n *Node) persistErr(err error) {
+	if err != nil && n.durableErr == nil {
+		n.durableErr = err
+	}
+}
+
+func durKey(mgID proto.MemgestID, shard uint32) replog.ShardKey {
+	return replog.ShardKey{Memgest: mgID, Shard: shard}
+}
+
+// durValue extracts what the durable layer should persist as the
+// entry's value: Rep memgests persist the full copy; SRS memgests
+// persist metadata only (block data is re-decoded from the parity
+// group on recovery, per the paper's recovery protocol).
+func durValue(st *mgState, e *store.Entry) ([]byte, bool) {
+	if st.info.Scheme.Kind == proto.SchemeRep && e.Value != nil {
+		return e.Value, true
+	}
+	return nil, false
+}
+
+// persistAppend records a write-ahead append (coordinator doWrite,
+// replica RepAppend, parity ParityUpdate).
+func (n *Node) persistAppend(st *mgState, shard uint32, e *store.Entry) {
+	if n.durable == nil || n.durableErr != nil {
+		return
+	}
+	value, hasValue := durValue(st, e)
+	n.persistErr(n.durable.Append(durKey(st.info.ID, shard), e.Seq, &e.Rec, value, hasValue))
+}
+
+// persistCommit records an entry's commit.
+func (n *Node) persistCommit(st *mgState, shard uint32, e *store.Entry) {
+	if n.durable == nil || n.durableErr != nil {
+		return
+	}
+	value, hasValue := durValue(st, e)
+	n.persistErr(n.durable.Commit(durKey(st.info.ID, shard), e.Seq, &e.Rec, value, hasValue))
+}
+
+// persistInstall records an entry learned through recovery (already
+// committed group-wide).
+func (n *Node) persistInstall(st *mgState, shard uint32, e *store.Entry) {
+	if n.durable == nil || n.durableErr != nil {
+		return
+	}
+	value, hasValue := durValue(st, e)
+	n.persistErr(n.durable.Install(durKey(st.info.ID, shard), e.Seq, &e.Rec, value, hasValue))
+}
+
+// persistPurge records the removal of one version.
+func (n *Node) persistPurge(mgID proto.MemgestID, shard uint32, key string, ver proto.Version, seq proto.Seq) {
+	if n.durable == nil || n.durableErr != nil {
+		return
+	}
+	n.persistErr(n.durable.Purge(durKey(mgID, shard), seq, key, ver))
+}
+
+// persistReset voids the durable state of a shard whose role this
+// node lost — replaying it in a later life would resurrect state that
+// now belongs to another node.
+func (n *Node) persistReset(mgID proto.MemgestID, shard uint32) {
+	if n.durable == nil || n.durableErr != nil {
+		return
+	}
+	n.persistErr(n.durable.Reset(durKey(mgID, shard)))
+}
+
+// takeStash consumes the recovered durable state of one shard, if any.
+func (n *Node) takeStash(mgID proto.MemgestID, shard uint32) *replog.RecoveredShard {
+	if n.durStash == nil {
+		return nil
+	}
+	sk := durKey(mgID, shard)
+	rs := n.durStash[sk]
+	if rs != nil {
+		delete(n.durStash, sk)
+	}
+	return rs
+}
+
+// installCoordStash seeds a taken-over coordinator shard from the
+// recovered durable state and returns the delta floor for the group
+// sync. All stash entries are committed; SRS entries re-reserve their
+// heap extents (block data itself is re-decoded in the background),
+// Rep entries carry their persisted values.
+func (n *Node) installCoordStash(st *mgState, cs *coordShard) proto.Seq {
+	rs := n.takeStash(st.info.ID, cs.shard)
+	if rs == nil {
+		return 0
+	}
+	vol := n.volFor(cs.shard)
+	for i := range rs.Entries {
+		re := &rs.Entries[i]
+		e := &store.Entry{Rec: re.Rec, Seq: re.Seq}
+		if re.HasValue {
+			e.Value = re.Value
+		}
+		if st.layout != nil && re.Rec.Length > 0 && !re.Rec.Tombstone {
+			e.Ext = store.Extent{Block: re.Rec.LocBlock, Off: re.Rec.LocOff, Len: re.Rec.Length}
+			if err := cs.heap.Reserve(e.Ext); err != nil {
+				// Conflicting extent (only possible after disk damage,
+				// which already forces Since == 0): let the group sync
+				// re-install this entry.
+				continue
+			}
+		}
+		cs.meta.Put(e)
+		vol.Add(re.Rec.Key, re.Rec.Version, st.info.ID)
+	}
+	// Sequences allocated in the new life must never collide with the
+	// old life's (a replica matching an old seq to a new entry would
+	// corrupt commit resolution).
+	cs.tracker.Advance(rs.MaxSeq)
+	return rs.Since
+}
+
+// installRedundantStash seeds a taken-over replica/parity metadata
+// table from the recovered durable state and returns the delta floor.
+func (n *Node) installRedundantStash(st *mgState, shard uint32) proto.Seq {
+	rs := n.takeStash(st.info.ID, shard)
+	if rs == nil {
+		return 0
+	}
+	rt := st.rmetaFor(shard)
+	for i := range rs.Entries {
+		re := &rs.Entries[i]
+		e := &store.Entry{Rec: re.Rec, Seq: re.Seq}
+		if re.HasValue {
+			e.Value = re.Value
+		}
+		rt.Put(e)
+	}
+	return rs.Since
+}
+
+// resetUnconsumedStash voids durable shards no installed role claimed
+// (the leader re-admitted us as a spare, or a role moved while we were
+// down). Runs once, after the re-admitting configuration installs.
+func (n *Node) resetUnconsumedStash() {
+	stash := n.durStash
+	n.durStash = nil
+	if n.durable == nil || len(stash) == 0 {
+		return
+	}
+	sks := make([]replog.ShardKey, 0, len(stash))
+	for sk := range stash {
+		sks = append(sks, sk)
+	}
+	sort.Slice(sks, func(i, j int) bool {
+		if sks[i].Memgest != sks[j].Memgest {
+			return sks[i].Memgest < sks[j].Memgest
+		}
+		return sks[i].Shard < sks[j].Shard
+	})
+	for _, sk := range sks {
+		n.persistErr(n.durable.Reset(sk))
+	}
+}
+
+// resetMgDurable voids every durable shard of a memgest this node is
+// dropping (memgest deleted, or coordinator shard reassigned).
+func (n *Node) resetMgDurable(st *mgState) {
+	if n.durable == nil {
+		return
+	}
+	shards := make(map[uint32]bool)
+	for shard := range st.coord {
+		shards[shard] = true
+	}
+	for shard := range st.rmeta {
+		shards[shard] = true
+	}
+	ordered := make([]uint32, 0, len(shards))
+	for shard := range shards {
+		ordered = append(ordered, shard)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	for _, shard := range ordered {
+		n.persistReset(st.info.ID, shard)
+	}
+}

@@ -217,9 +217,12 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 		}
 	}
 
-	// Drop state (and counters) for memgests that no longer exist.
+	// Drop state (and counters) for memgests that no longer exist. The
+	// durable shards are voided too: replaying them in a later life
+	// would resurrect a deleted memgest.
 	for id := range n.mg {
 		if cfg.Memgest(id) == nil {
+			n.resetMgDurable(n.mg[id])
 			delete(n.mg, id)
 			delete(n.Metrics.mg, id)
 		}
@@ -240,8 +243,12 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 		for shard := uint32(0); int(shard) < len(cfg.Coords); shard++ {
 			if cfg.Coords[shard] != n.id {
 				// Lost the role (shouldn't happen in this design except
-				// via memgest deletion); drop any stale state.
-				delete(st.coord, shard)
+				// via memgest deletion); drop any stale state, durable
+				// state included.
+				if _, ok := st.coord[shard]; ok {
+					delete(st.coord, shard)
+					n.persistReset(mi.ID, shard)
+				}
 				continue
 			}
 			if _, ok := st.coord[shard]; ok {
@@ -251,7 +258,8 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 			cs := n.newCoordShard(st, shard, !takeover)
 			if takeover {
 				needsRecovery = true
-				n.startMetaRecovery(mi.ID, shard, roleCoordinator)
+				since := n.installCoordStash(st, cs)
+				n.startMetaRecovery(mi.ID, shard, roleCoordinator, since)
 				n.scheduleDataRecovery(st, cs)
 			}
 		}
@@ -275,7 +283,8 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 				if existedBefore && !bootstrap {
 					needsRecovery = true
 					for shard := 0; shard < mi.Scheme.S; shard++ {
-						n.startMetaRecovery(mi.ID, uint32(shard), roleParity)
+						since := n.installRedundantStash(st, uint32(shard))
+						n.startMetaRecovery(mi.ID, uint32(shard), roleParity, since)
 					}
 					n.scheduleParityRebuild(st)
 				}
@@ -298,7 +307,8 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 				st.rmeta[shard] = store.NewMetaTable()
 				if existedBefore && !bootstrap {
 					needsRecovery = true
-					n.startMetaRecovery(mi.ID, shard, roleReplica)
+					since := n.installRedundantStash(st, shard)
+					n.startMetaRecovery(mi.ID, shard, roleReplica, since)
 				}
 			}
 		}
@@ -320,6 +330,12 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 				break
 			}
 		}
+	}
+	// Durable shards no installed role claimed are voided: either the
+	// leader re-admitted us into different roles, or a role moved while
+	// we were down. Keeping them would resurrect stale state next life.
+	if n.durStash != nil && !n.rejoining {
+		n.resetUnconsumedStash()
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ring/internal/proto"
+	"ring/internal/replog"
 	"ring/internal/store"
 )
 
@@ -142,6 +143,14 @@ type Node struct {
 	rejoining    bool
 	joinAttempts int
 
+	// durable is the optional persistent engine (see durable.go);
+	// durableErr is the sticky first persist failure (the node must
+	// crash-stop once set); durStash is state recovered from disk,
+	// consumed when the re-admitting configuration installs.
+	durable    *replog.Durable
+	durableErr error
+	durStash   map[replog.ShardKey]*replog.RecoveredShard
+
 	nextReq proto.ReqID
 	now     time.Duration
 	outs    []Out
@@ -183,6 +192,9 @@ type metaRecovery struct {
 	// are pruned once the config drops them, and surviving peers are
 	// re-asked (MetaFetch is an idempotent snapshot read).
 	lastSent time.Duration
+	// since is the delta floor carried on every (re)send: a node that
+	// recovered durable state only needs records past it.
+	since proto.Seq
 }
 
 type recoveredRole uint8

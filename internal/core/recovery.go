@@ -36,8 +36,10 @@ const (
 
 // startMetaRecovery begins fetching the metadata hashtable of one
 // memgest shard from the nodes that replicate it (step 5 of the
-// Section 6.4 recovery sequence).
-func (n *Node) startMetaRecovery(mgID proto.MemgestID, shard uint32, role recoveredRole) {
+// Section 6.4 recovery sequence). since > 0 turns the fetch into a
+// delta sync: the node recovered durable state up to that sequence
+// and only needs what came after.
+func (n *Node) startMetaRecovery(mgID proto.MemgestID, shard uint32, role recoveredRole, since proto.Seq) {
 	mi := n.cfg.Memgest(mgID)
 	if mi == nil {
 		return
@@ -68,10 +70,10 @@ func (n *Node) startMetaRecovery(mgID proto.MemgestID, shard uint32, role recove
 		return
 	}
 	req := n.reqID()
-	mr := &metaRecovery{memgest: mgID, shard: shard, role: role, waiting: make(map[proto.NodeID]bool)}
+	mr := &metaRecovery{memgest: mgID, shard: shard, role: role, since: since, waiting: make(map[proto.NodeID]bool)}
 	for _, p := range filtered {
 		mr.waiting[p] = true
-		n.sendNode(p, &proto.MetaFetch{Req: req, Memgest: mgID, Shard: shard})
+		n.sendNode(p, &proto.MetaFetch{Req: req, Memgest: mgID, Shard: shard, Since: since})
 	}
 	mr.lastSent = n.now
 	n.recovering[req] = mr
@@ -118,7 +120,7 @@ func (n *Node) pumpMetaRecoveries() {
 		}
 		mr.lastSent = n.now
 		for _, p := range sortedWaiting(mr.waiting) {
-			n.sendNode(p, &proto.MetaFetch{Req: req, Memgest: mr.memgest, Shard: mr.shard})
+			n.sendNode(p, &proto.MetaFetch{Req: req, Memgest: mr.memgest, Shard: mr.shard, Since: mr.since})
 		}
 	}
 }
@@ -224,9 +226,24 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 		if cs == nil {
 			return
 		}
+		// A durable node delta-synced: advance the sequence allocator
+		// past everything the peers have seen, so re-allocated sequences
+		// never collide with the previous life's.
+		for _, rep := range mr.replies {
+			cs.tracker.Advance(rep.Seq)
+		}
 		vol := n.volFor(mr.shard)
 		for _, ek := range keys {
 			mg := union[ek]
+			if existing := cs.meta.Get(ek.Key, ek.Version); existing != nil {
+				// Already installed from the durable stash: keep its value
+				// and extent, just make sure it is committed.
+				if !existing.Rec.Committed {
+					existing.Rec.Committed = true
+					n.persistInstall(st, mr.shard, existing)
+				}
+				continue
+			}
 			e := &store.Entry{Rec: mg.rec}
 			if st.layout != nil && mg.rec.Length > 0 && !mg.rec.Tombstone {
 				e.Ext = store.Extent{Block: mg.rec.LocBlock, Off: mg.rec.LocOff, Len: mg.rec.Length}
@@ -237,6 +254,7 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 			}
 			cs.meta.Put(e)
 			vol.Add(mg.rec.Key, mg.rec.Version, mr.memgest)
+			n.persistInstall(st, mr.shard, e)
 		}
 		// Queue background data recovery.
 		if st.layout != nil {
@@ -257,7 +275,20 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 		rt := st.rmetaFor(mr.shard)
 		for _, ek := range keys {
 			mg := union[ek]
-			rt.Put(&store.Entry{Rec: mg.rec})
+			if existing := rt.Get(ek.Key, ek.Version); existing != nil {
+				if !existing.Rec.Committed {
+					existing.Rec.Committed = true
+					n.persistInstall(st, mr.shard, existing)
+				}
+				if existing.Value != nil || mg.rec.Length == 0 || mg.rec.Tombstone {
+					continue
+				}
+				n.bgQueue = append(n.bgQueue, bgTask{kind: bgValue, memgest: mr.memgest, shard: mr.shard, key: mg.rec.Key, version: mg.rec.Version, replica: true})
+				continue
+			}
+			e := &store.Entry{Rec: mg.rec}
+			rt.Put(e)
+			n.persistInstall(st, mr.shard, e)
 			if mg.rec.Length > 0 && !mg.rec.Tombstone {
 				n.bgQueue = append(n.bgQueue, bgTask{kind: bgValue, memgest: mr.memgest, shard: mr.shard, key: mg.rec.Key, version: mg.rec.Version, replica: true})
 			}
@@ -266,7 +297,17 @@ func (n *Node) finishMetaRecovery(mr *metaRecovery) {
 	case roleParity:
 		rt := st.rmetaFor(mr.shard)
 		for _, ek := range keys {
-			rt.Put(&store.Entry{Rec: union[ek].rec})
+			mg := union[ek]
+			if existing := rt.Get(ek.Key, ek.Version); existing != nil {
+				if !existing.Rec.Committed {
+					existing.Rec.Committed = true
+					n.persistInstall(st, mr.shard, existing)
+				}
+				continue
+			}
+			e := &store.Entry{Rec: mg.rec}
+			rt.Put(e)
+			n.persistInstall(st, mr.shard, e)
 		}
 		// Parity blocks are rebuilt once per stripe, not per shard;
 		// scheduleParityRebuild queued them already.
@@ -596,6 +637,7 @@ func (n *Node) handleDataFetchReply(_ string, m *proto.DataFetchReply) {
 	if tracked && task.replica {
 		if e := st.rmetaFor(dr.shard).Get(dr.key, dr.version); e != nil {
 			e.Value = m.Value
+			n.persistInstall(st, dr.shard, e)
 		}
 		return
 	}
@@ -608,6 +650,7 @@ func (n *Node) handleDataFetchReply(_ string, m *proto.DataFetchReply) {
 		return
 	}
 	e.Value = m.Value
+	n.persistInstall(st, dr.shard, e)
 	if cs.valueFetching != nil {
 		delete(cs.valueFetching, ek)
 	}

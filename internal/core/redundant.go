@@ -40,8 +40,10 @@ func (n *Node) handleRepAppend(from string, m *proto.RepAppend) {
 		return
 	}
 	rt := st.rmetaFor(m.Shard)
-	rt.Put(&store.Entry{Rec: m.Rec, Value: m.Value, Seq: m.Seq})
+	e := &store.Entry{Rec: m.Rec, Value: m.Value, Seq: m.Seq}
+	rt.Put(e)
 	st.rseqFor(m.Shard)[m.Seq] = store.EntryKey{Key: m.Rec.Key, Version: m.Rec.Version}
+	n.persistAppend(st, m.Shard, e)
 	n.send(from, &proto.RepAck{Memgest: m.Memgest, Shard: m.Shard, Seq: m.Seq})
 }
 
@@ -58,8 +60,10 @@ func (n *Node) handleParityUpdate(from string, m *proto.ParityUpdate) {
 		n.Stats.BytesParityXor += uint64(len(m.Delta))
 	}
 	rt := st.rmetaFor(m.Shard)
-	rt.Put(&store.Entry{Rec: m.Rec, Seq: m.Seq})
+	e := &store.Entry{Rec: m.Rec, Seq: m.Seq}
+	rt.Put(e)
 	st.rseqFor(m.Shard)[m.Seq] = store.EntryKey{Key: m.Rec.Key, Version: m.Rec.Version}
+	n.persistAppend(st, m.Shard, e)
 	n.send(from, &proto.ParityAck{Memgest: m.Memgest, Shard: m.Shard, Seq: m.Seq})
 }
 
@@ -78,6 +82,7 @@ func (n *Node) handleRepCommit(_ string, m *proto.RepCommit) {
 	delete(seqIdx, m.Seq)
 	if e := st.rmetaFor(m.Shard).Get(ek.Key, ek.Version); e != nil {
 		e.Rec.Committed = true
+		n.persistCommit(st, m.Shard, e)
 	}
 }
 
@@ -90,10 +95,15 @@ func (n *Node) handlePurge(_ string, m *proto.Purge) {
 	if st == nil {
 		return
 	}
+	var seq proto.Seq
 	if e := st.rmetaFor(m.Shard).Get(m.Key, m.Version); e != nil {
 		delete(st.rseqFor(m.Shard), e.Seq)
+		seq = e.Seq
 	}
 	st.rmetaFor(m.Shard).Delete(m.Key, m.Version)
+	// Persist even when the in-memory copy is already gone: the durable
+	// store may still hold the record from a previous life.
+	n.persistPurge(m.Memgest, m.Shard, m.Key, m.Version, seq)
 }
 
 // handleMetaFetch serves a node recovering the metadata hashtable of
@@ -106,16 +116,19 @@ func (n *Node) handleMetaFetch(from string, m *proto.MetaFetch) {
 		return
 	}
 	var recs []proto.MetaRecord
+	var seq proto.Seq
 	if cs := st.coord[m.Shard]; cs != nil {
-		recs = cs.meta.Records()
+		recs = cs.meta.RecordsSince(m.Since)
+		seq = cs.meta.MaxSeq()
 	} else if rt, ok := st.rmeta[m.Shard]; ok {
-		recs = rt.Records()
+		recs = rt.RecordsSince(m.Since)
+		seq = rt.MaxSeq()
 	} else {
 		n.send(from, &proto.MetaFetchReply{Req: m.Req, Status: proto.StNotFound, Memgest: m.Memgest, Shard: m.Shard})
 		return
 	}
 	n.send(from, &proto.MetaFetchReply{
-		Req: m.Req, Status: proto.StOK, Memgest: m.Memgest, Shard: m.Shard, Recs: recs,
+		Req: m.Req, Status: proto.StOK, Memgest: m.Memgest, Shard: m.Shard, Seq: seq, Recs: recs,
 	})
 }
 

@@ -105,7 +105,7 @@ func (n *Node) joinTick() {
 		target = peers[n.joinAttempts%len(peers)]
 	}
 	n.joinAttempts++
-	n.sendNode(target, &proto.Join{Node: n.id, Epoch: n.cfg.Epoch})
+	n.sendNode(target, &proto.Join{Node: n.id, Epoch: n.cfg.Epoch, Durable: n.joinDurable()})
 }
 
 // handleJoin processes a restarted node's announcement. Non-leaders
@@ -125,6 +125,15 @@ func (n *Node) handleJoin(from string, m *proto.Join) {
 	n.lastAck[m.Node] = n.now
 	switch {
 	case n.holdsDataRole(m.Node):
+		if m.Durable {
+			// Durable rejoin: the node recovered committed state from its
+			// data directory, so its roles are worth keeping. Resend the
+			// current configuration unchanged; the joiner installs its
+			// stash under the takeover path and delta-syncs from the
+			// group instead of refetching everything.
+			n.sendNode(m.Node, &proto.ConfigPush{Config: n.cfg.Clone()})
+			return
+		}
 		// Amnesiac rejoin: still assigned roles, state lost. Same
 		// substitution as a detected failure, then back in as a spare,
 		// all in one configuration change.

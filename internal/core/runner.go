@@ -2,12 +2,16 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"ring/internal/metrics"
 	"ring/internal/proto"
+	"ring/internal/replog"
 	"ring/internal/transport"
+	"ring/internal/wal"
 )
 
 // RunnerGoroutines counts live runner event-loop goroutines
@@ -33,6 +37,7 @@ type Runner struct {
 	start   time.Time
 	stopped chan struct{}
 	done    chan struct{}
+	epOnce  sync.Once // ep.Close exactly once (halt and Stop both close)
 
 	// depth reports the current inbox backlog; set once at start, read
 	// by the queue-depth gauges at scrape time.
@@ -131,7 +136,9 @@ func (r *Runner) loop(packets <-chan transport.Packet, epClosed <-chan struct{})
 				return
 			}
 		case <-ticker.C:
-			r.dispatch(r.node.HandleTick)
+			if !r.dispatch(r.node.HandleTick) {
+				return
+			}
 		}
 	}
 }
@@ -188,7 +195,14 @@ func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool
 			break
 		}
 	}
+	syncErr := r.node.SyncDurable()
 	r.mu.Unlock()
+	if syncErr != nil {
+		// Durability lost: crash-stop before any of the batch's outputs
+		// escape, so nothing acknowledged this batch can be un-durable.
+		r.halt()
+		return false
+	}
 	r.flush(r.scratch)
 	return open
 }
@@ -198,14 +212,20 @@ func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool
 //
 //ring:hotpath
 //ring:wallclock converts wall time to the node's event clock
-func (r *Runner) dispatch(f func(time.Duration) []Out) {
+func (r *Runner) dispatch(f func(time.Duration) []Out) bool {
 	r.mu.Lock()
 	outs := f(time.Since(r.start))
 	// Copy into the runner-owned scratch: the node reuses its output
 	// buffer across calls, and sends must happen outside the lock.
 	r.scratch = append(r.scratch[:0], outs...)
+	syncErr := r.node.SyncDurable()
 	r.mu.Unlock()
+	if syncErr != nil {
+		r.halt()
+		return false
+	}
 	r.flush(r.scratch)
+	return true
 }
 
 // flush coalesces one event's outputs by destination and transmits
@@ -249,18 +269,43 @@ func (r *Runner) Inspect(f func(*Node)) {
 	f(r.node)
 }
 
-// Stop terminates the runner and unregisters the endpoint. A stopped
-// runner's node simply vanishes from the fabric — the exact failure
-// model of the paper's "manually killing processes" experiments.
+// halt is the crash-stop path taken by the event loop itself when the
+// node can no longer promise durability: the endpoint closes so the
+// node vanishes from the fabric, exactly as if it had been killed.
+func (r *Runner) halt() {
+	r.epOnce.Do(func() { r.ep.Close() })
+}
+
+// Stop terminates the runner and unregisters the endpoint, then closes
+// the durable store cleanly (flush + fsync) if one is attached. A
+// stopped runner's node simply vanishes from the fabric — the exact
+// failure model of the paper's "manually killing processes"
+// experiments.
 func (r *Runner) Stop() {
+	r.stop(true)
+}
+
+// Kill terminates the runner WITHOUT closing the durable store — the
+// in-process equivalent of kill -9: whatever the last fsync made
+// durable stays on disk, everything after it is torn away.
+func (r *Runner) Kill() {
+	r.stop(false)
+}
+
+func (r *Runner) stop(closeDurable bool) {
 	select {
 	case <-r.stopped:
-		return
 	default:
+		close(r.stopped)
 	}
-	close(r.stopped)
-	r.ep.Close()
+	r.epOnce.Do(func() { r.ep.Close() })
 	<-r.done
+	if closeDurable {
+		r.mu.Lock()
+		err := r.node.CloseDurable()
+		r.mu.Unlock()
+		_ = err // a node stopping anyway has nowhere to report it
+	}
 }
 
 // Cluster is a convenience harness: n nodes on one fabric with a
@@ -271,6 +316,9 @@ type Cluster struct {
 	Runs   map[proto.NodeID]*Runner
 	opts   Options
 	tick   time.Duration
+
+	dataDir string
+	durOpts replog.DurableOptions
 }
 
 // ClusterSpec describes a cluster to boot.
@@ -284,6 +332,12 @@ type ClusterSpec struct {
 	Opts     Options
 	// TickEvery is the runner tick period.
 	TickEvery time.Duration
+	// DataDir, when non-empty, gives every node a durable store rooted
+	// at DataDir/node-<id> (directories created on demand). Killed nodes
+	// can then come back through Cluster.Restart with their state.
+	DataDir string
+	// DurableOpts configures the durable stores (fsync policy etc.).
+	DurableOpts replog.DurableOptions
 }
 
 // BootConfig builds the initial configuration for a spec.
@@ -332,14 +386,24 @@ func StartCluster(spec ClusterSpec) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{
-		Fabric: transport.NewMemFabric(0),
-		Cfg:    cfg,
-		Runs:   make(map[proto.NodeID]*Runner),
-		opts:   spec.Opts,
-		tick:   spec.TickEvery,
+		Fabric:  transport.NewMemFabric(0),
+		Cfg:     cfg,
+		Runs:    make(map[proto.NodeID]*Runner),
+		opts:    spec.Opts,
+		tick:    spec.TickEvery,
+		dataDir: spec.DataDir,
+		durOpts: spec.DurableOpts,
 	}
 	for _, id := range cfg.AllNodes() {
 		n := New(id, cfg.Clone(), spec.Opts)
+		if c.dataDir != "" {
+			d, err := c.openDurable(id)
+			if err != nil {
+				c.Stop()
+				return nil, err
+			}
+			n.SetDurable(d)
+		}
 		r, err := StartRunner(n, c.Fabric, spec.TickEvery)
 		if err != nil {
 			c.Stop()
@@ -350,11 +414,51 @@ func StartCluster(spec ClusterSpec) (*Cluster, error) {
 	return c, nil
 }
 
+// NodeDataDir returns the data directory of one node of a durable
+// cluster.
+func (c *Cluster) NodeDataDir(id proto.NodeID) string {
+	return filepath.Join(c.dataDir, fmt.Sprintf("node-%d", id))
+}
+
+func (c *Cluster) openDurable(id proto.NodeID) (*replog.Durable, error) {
+	dir := c.NodeDataDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return replog.OpenDurable(wal.DirFS(dir), c.durOpts)
+}
+
+// Restart brings a killed node of a durable cluster back over its data
+// directory: it replays the WAL, rebuilds its state up to the durable
+// commit index, and rejoins quarantined — the leader re-admits it into
+// its old roles and it delta-syncs the rest from the group.
+func (c *Cluster) Restart(id proto.NodeID) error {
+	if c.dataDir == "" {
+		return fmt.Errorf("core: cluster has no data dir")
+	}
+	if _, ok := c.Runs[id]; ok {
+		return fmt.Errorf("core: node %d still running", id)
+	}
+	d, err := c.openDurable(id)
+	if err != nil {
+		return err
+	}
+	n := NewRecovered(id, c.Cfg.Clone(), c.opts, d)
+	r, err := StartRunner(n, c.Fabric, c.tick)
+	if err != nil {
+		return err
+	}
+	c.Runs[id] = r
+	return nil
+}
+
 // Kill simulates a crash: the node's runner stops and its endpoint
-// disappears from the fabric.
+// disappears from the fabric. The durable store (if any) is NOT closed
+// cleanly — its data directory keeps exactly what the last fsync made
+// durable, like kill -9.
 func (c *Cluster) Kill(id proto.NodeID) {
 	if r, ok := c.Runs[id]; ok {
-		r.Stop()
+		r.Kill()
 		delete(c.Runs, id)
 	}
 }

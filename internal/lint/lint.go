@@ -17,6 +17,10 @@
 //   - wirepair: every wire message type tag has a matching message
 //     struct, encode method, and Decode arm, and no Decode arm
 //     constructs a message of a different tag.
+//   - durablepath: no call into the durable storage packages
+//     (internal/wal, internal/bitcask, internal/replog) discards its
+//     error — a dropped fsync or append error silently un-durables an
+//     acknowledged write.
 //
 // The suite is built directly on go/ast and go/types (no external
 // analysis framework: the module is dependency-free by policy), with
@@ -39,6 +43,8 @@
 //	                     constructor init before the value is shared)
 //	//ring:wireframe     marks a MsgType constant as a frame envelope
 //	                     tag with no message struct (TBatch)
+//	//ring:durableok     exempts one durable-storage call (line or
+//	                     enclosing function) from durablepath
 //
 // Every exemption is greppable: the directive is the audit trail.
 package lint
@@ -106,6 +112,7 @@ func Analyzers() []*Analyzer {
 		SleepyTest,
 		AtomicField,
 		WirePair,
+		DurablePath,
 	}
 }
 

@@ -45,6 +45,10 @@ func TestWirePair(t *testing.T) {
 	RunFixture(t, WirePair, fixtureDir("wirepair"), "fixture/wirepair")
 }
 
+func TestDurablePath(t *testing.T) {
+	RunFixture(t, DurablePath, fixtureDir("durablepath"), "fixture/durablepath")
+}
+
 // TestRepoClean runs the full suite over the real module and demands
 // zero findings: the committed tree must satisfy its own lint gate.
 func TestRepoClean(t *testing.T) {

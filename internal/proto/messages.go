@@ -652,15 +652,21 @@ type Join struct {
 	// Epoch is the configuration epoch the joiner booted with, for
 	// observability; the leader's decision does not depend on it.
 	Epoch Epoch
+	// Durable is set when the joiner recovered committed state from its
+	// data directory: the leader then re-admits it into the roles it
+	// held (letting it delta-sync from the group) instead of stripping
+	// it down to an empty spare.
+	Durable bool
 }
 
 func (*Join) Type() MsgType { return TJoin }
 func (m *Join) encode(w *writer) {
 	w.u32(uint32(m.Node))
 	w.u64(uint64(m.Epoch))
+	w.bool(m.Durable)
 }
 func decJoin(r *reader) *Join {
-	return &Join{Node: NodeID(r.u32()), Epoch: Epoch(r.u64())}
+	return &Join{Node: NodeID(r.u32()), Epoch: Epoch(r.u64()), Durable: r.bool()}
 }
 
 // ConfigAck confirms installation of a configuration epoch.
@@ -680,6 +686,10 @@ type MetaFetch struct {
 	Req     ReqID
 	Memgest MemgestID
 	Shard   uint32
+	// Since is the delta floor: a requester that recovered durable
+	// state up to sequence Since only needs records past it. Zero asks
+	// for the full table (the only value non-durable nodes send).
+	Since Seq
 }
 
 func (*MetaFetch) Type() MsgType { return TMetaFetch }
@@ -687,9 +697,10 @@ func (m *MetaFetch) encode(w *writer) {
 	w.u64(uint64(m.Req))
 	w.u32(uint32(m.Memgest))
 	w.u32(m.Shard)
+	w.u64(uint64(m.Since))
 }
 func decMetaFetch(r *reader) *MetaFetch {
-	return &MetaFetch{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Shard: r.u32()}
+	return &MetaFetch{Req: ReqID(r.u64()), Memgest: MemgestID(r.u32()), Shard: r.u32(), Since: Seq(r.u64())}
 }
 
 // MetaFetchReply returns the metadata records and the log position up

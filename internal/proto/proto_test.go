@@ -63,7 +63,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&HeartbeatAck{Epoch: 3},
 		&ConfigPush{Config: sampleConfig()},
 		&ConfigAck{Epoch: 7},
-		&MetaFetch{Req: 12, Memgest: 1, Shard: 2},
+		&MetaFetch{Req: 12, Memgest: 1, Shard: 2, Since: 99},
 		&MetaFetchReply{Req: 12, Status: StOK, Memgest: 1, Shard: 2, Seq: 100, Recs: []MetaRecord{rec, {Key: "b"}}},
 		&DataFetch{Req: 13, Memgest: 2, Shard: 0, Key: "k", Version: 7},
 		&DataFetchReply{Req: 13, Status: StOK, Value: []byte("data")},
@@ -72,6 +72,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&BlockFetch{Req: 15, Memgest: 1, Block: 5},
 		&BlockFetchReply{Req: 15, Status: StOK, Block: 5, Data: []byte("blk")},
 		&Tick{},
+		&Join{Node: 3, Epoch: 9, Durable: true},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {

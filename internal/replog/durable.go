@@ -1,0 +1,799 @@
+package replog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ring/internal/bitcask"
+	"ring/internal/proto"
+	"ring/internal/wal"
+)
+
+// Durable persists a node's memgest state across crashes by pairing
+// the two storage engines:
+//
+//   - the WAL (internal/wal) records write-ahead appends — metadata
+//     plus, for Rep memgests, the value — the moment an entry enters a
+//     metadata table, before any ack leaves the node;
+//   - the Bitcask store (internal/bitcask) holds one record per
+//     *committed* entry, written when the entry commits, keyed by
+//     (memgest, shard, version, key).
+//
+// Group commit: mutations only buffer; the hosting runner (or the
+// simulator) calls MaybeSync after each event batch, which fsyncs per
+// the configured policy — and always Bitcask before the WAL. That
+// ordering is the crash-consistency backbone: a record present in the
+// durable WAL implies every Bitcask effect of earlier batches is
+// durable too, so replay never needs cross-engine ordering beyond
+// "Bitcask end-state first, then the WAL on top".
+//
+// WAL segments are pruned prefix-only, and a segment only becomes
+// prunable once every append in it is resolved — its commit landed in
+// a *synced* Bitcask record, or it was purged or reset — so pruning
+// can never orphan a committed record, and never resurrects a purged
+// version (mid-log gaps are impossible).
+type Durable struct {
+	w    *wal.WAL
+	db   *bitcask.DB
+	opts DurableOptions
+
+	stash   map[ShardKey]*RecoveredShard
+	damaged bool
+
+	// unresolved maps each write-ahead append still awaiting its
+	// commit/purge to the WAL segment holding it; segLive counts the
+	// records blocking each segment from pruning.
+	unresolved map[urKey]uint64
+	segLive    map[uint64]int
+	// pendingSegs are segments owed one decrement at the next
+	// successful Sync (commit/purge/reset records, and resolved
+	// appends, stop blocking only once their Bitcask effect is synced).
+	pendingSegs []uint64
+
+	lastSync time.Duration
+	appends  uint64
+	syncs    uint64
+}
+
+type urKey struct {
+	sk  ShardKey
+	seq proto.Seq
+}
+
+// FsyncPolicy selects when group commit actually fsyncs.
+type FsyncPolicy uint8
+
+const (
+	// FsyncAlways syncs after every event batch that dirtied the
+	// store: an ack implies durability. The only policy under which a
+	// crash cannot lose acknowledged writes locally.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per interval of the node's
+	// event clock; a crash loses at most one interval of acked writes
+	// (the group's other copies still hold them).
+	FsyncInterval
+	// FsyncNever leaves syncing to segment seals and Close.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses the -fsync flag values.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("replog: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", uint8(p))
+}
+
+// DurableOptions configures a Durable store.
+type DurableOptions struct {
+	Policy   FsyncPolicy
+	Interval time.Duration // FsyncInterval period (0 = 5ms)
+
+	WALSegmentBytes  int
+	DataSegmentBytes int
+	// CompactDead triggers a Bitcask merge once this many superseded
+	// records accumulate (0 = 1<<16).
+	CompactDead int
+}
+
+// ShardKey addresses one shard of one memgest in the durable store.
+type ShardKey struct {
+	Memgest proto.MemgestID
+	Shard   uint32
+}
+
+// RecoveredEntry is one committed entry replayed from disk.
+type RecoveredEntry struct {
+	Rec proto.MetaRecord
+	Seq proto.Seq
+	// Value is the persisted value bytes when HasValue (Rep memgests);
+	// SRS memgests persist metadata only and re-decode block data from
+	// the parity group.
+	Value    []byte
+	HasValue bool
+}
+
+// RecoveredShard is the durable state of one shard: every committed
+// entry, the highest sequence this node ever saw for the shard, and
+// the delta floor for resyncing with the group.
+type RecoveredShard struct {
+	Entries []RecoveredEntry // sorted by (key, version)
+	MaxSeq  proto.Seq
+	// Since is the sequence the group sync can start from: peers only
+	// need to send records with Seq > Since. 0 forces a full transfer
+	// (fresh store, unresolved gaps, or detected corruption).
+	Since proto.Seq
+}
+
+type entryKey struct {
+	key string
+	ver proto.Version
+}
+
+// WAL record kinds.
+const (
+	kAppend = 1 // write-ahead append: full record (+ value for Rep)
+	kCommit = 2 // commit marker: the entry moved to Bitcask
+	kPurge  = 3 // version purged (GC or abort)
+	kReset  = 4 // all prior records of the shard are void (role shed)
+)
+
+// OpenDurable opens (or creates) the store in fsys, replaying the
+// Bitcask keydir and the WAL into the recovered stash. Recovery ends
+// with a normalization pass: committed entries are (re)written to
+// Bitcask where missing, surviving uncommitted appends are compacted
+// into a fresh WAL generation, and the old segments are dropped — so
+// prune bookkeeping restarts exact and replay cost never accretes
+// across restarts.
+func OpenDurable(fsys wal.FS, opts DurableOptions) (*Durable, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 5 * time.Millisecond
+	}
+	if opts.CompactDead <= 0 {
+		opts.CompactDead = 1 << 16
+	}
+	db, err := bitcask.Open(fsys, bitcask.Options{SegmentBytes: opts.DataSegmentBytes})
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{
+		db:         db,
+		opts:       opts,
+		stash:      make(map[ShardKey]*RecoveredShard),
+		unresolved: make(map[urKey]uint64),
+		segLive:    make(map[uint64]int),
+	}
+
+	// Phase 1: the WAL, in log order, into per-shard replay state.
+	type walShard struct {
+		entries    map[entryKey]*RecoveredEntry // appends; Committed set by kCommit
+		purged     map[entryKey]bool
+		unresolved map[proto.Seq]entryKey
+		deferred   []entryKey // commits whose append is not in the WAL
+		maxSeq     proto.Seq
+	}
+	walSt := make(map[ShardKey]*walShard)
+	shard := func(sk ShardKey) *walShard {
+		st, ok := walSt[sk]
+		if !ok {
+			st = &walShard{
+				entries:    make(map[entryKey]*RecoveredEntry),
+				purged:     make(map[entryKey]bool),
+				unresolved: make(map[proto.Seq]entryKey),
+			}
+			walSt[sk] = st
+		}
+		return st
+	}
+	w, err := wal.Open(fsys, wal.Options{SegmentBytes: opts.WALSegmentBytes}, func(_ uint64, payload []byte) error {
+		r, ok := decodeWALRecord(payload)
+		if !ok {
+			d.damaged = true
+			return nil
+		}
+		st := shard(r.sk)
+		ek := entryKey{r.rec.Key, r.rec.Version}
+		switch r.kind {
+		case kAppend:
+			st.entries[ek] = &RecoveredEntry{Rec: r.rec, Seq: r.seq, Value: r.value, HasValue: r.hasValue}
+			st.unresolved[r.seq] = ek
+			delete(st.purged, ek)
+		case kCommit:
+			if e, ok := st.entries[ek]; ok {
+				e.Rec.Committed = true
+			} else {
+				st.deferred = append(st.deferred, ek)
+			}
+			delete(st.unresolved, r.seq)
+		case kPurge:
+			delete(st.entries, ek)
+			st.purged[ek] = true
+			if r.seq != 0 {
+				delete(st.unresolved, r.seq)
+			}
+		case kReset:
+			delete(walSt, r.sk)
+			return nil
+		default:
+			d.damaged = true
+			return nil
+		}
+		if r.seq > st.maxSeq {
+			st.maxSeq = r.seq
+		}
+		return nil
+	})
+	if err != nil {
+		db.Close() //ring:durableok open failed, the WAL error is the one to surface
+		return nil, err
+	}
+	d.w = w
+	if w.Damaged() || db.Damaged() {
+		d.damaged = true
+	}
+
+	// Phase 2: the Bitcask end-state — every synced committed entry.
+	type finalShard struct {
+		entries map[entryKey]*RecoveredEntry
+		maxSeq  proto.Seq
+		full    bool // force Since = 0
+	}
+	final := make(map[ShardKey]*finalShard)
+	fshard := func(sk ShardKey) *finalShard {
+		st, ok := final[sk]
+		if !ok {
+			st = &finalShard{entries: make(map[entryKey]*RecoveredEntry)}
+			final[sk] = st
+		}
+		return st
+	}
+	err = db.Range(func(k string, v []byte) error {
+		sk, ek, ok := decodeDBKey(k)
+		if !ok {
+			d.damaged = true
+			return nil
+		}
+		e, ok := decodeEnvelope(v)
+		if !ok {
+			d.damaged = true
+			return nil
+		}
+		e.Rec.Committed = true
+		st := fshard(sk)
+		st.entries[ek] = &e
+		if e.Seq > st.maxSeq {
+			st.maxSeq = e.Seq
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 3: merge the WAL on top. The sync ordering (Bitcask before
+	// WAL, same group commit) means a durable WAL record implies its
+	// batch's predecessors hit Bitcask, so "end-state plus WAL deltas"
+	// is a consistent cut.
+	type pendingAppend struct {
+		sk ShardKey
+		e  *RecoveredEntry
+	}
+	var uncommitted []pendingAppend
+	for sk, st := range walSt {
+		fs := fshard(sk)
+		if st.maxSeq > fs.maxSeq {
+			fs.maxSeq = st.maxSeq
+		}
+		for ek := range st.purged {
+			delete(fs.entries, ek)
+		}
+		for ek, e := range st.entries {
+			if e.Rec.Committed {
+				if bc, ok := fs.entries[ek]; ok && bc.HasValue && !e.HasValue {
+					e.Value, e.HasValue = bc.Value, true
+				}
+				fs.entries[ek] = e
+				continue
+			}
+			if _, ok := fs.entries[ek]; ok {
+				// Committed in Bitcask supersedes the write-ahead copy.
+				delete(st.unresolved, e.Seq)
+				continue
+			}
+			uncommitted = append(uncommitted, pendingAppend{sk, e})
+		}
+		for _, ek := range st.deferred {
+			if _, ok := fs.entries[ek]; !ok {
+				// A commit marker whose entry is nowhere: durable state
+				// was lost; only a full transfer is safe.
+				fs.full = true
+			}
+		}
+	}
+
+	// Phase 4: build the stash (committed entries only — an append that
+	// never committed was never acknowledged, so dropping it is a legal
+	// outcome of the crashed operation; it still lowers Since so the
+	// group sync re-covers its range).
+	skeys := make([]ShardKey, 0, len(final))
+	for sk := range final {
+		skeys = append(skeys, sk)
+	}
+	sort.Slice(skeys, func(i, j int) bool {
+		a, b := skeys[i], skeys[j]
+		if a.Memgest != b.Memgest {
+			return a.Memgest < b.Memgest
+		}
+		return a.Shard < b.Shard
+	})
+	for _, sk := range skeys {
+		fs := final[sk]
+		rs := &RecoveredShard{MaxSeq: fs.maxSeq}
+		for _, e := range fs.entries {
+			rs.Entries = append(rs.Entries, *e)
+		}
+		sort.Slice(rs.Entries, func(i, j int) bool {
+			a, b := &rs.Entries[i], &rs.Entries[j]
+			if a.Rec.Key != b.Rec.Key {
+				return a.Rec.Key < b.Rec.Key
+			}
+			return a.Rec.Version < b.Rec.Version
+		})
+		rs.Since = fs.maxSeq
+		if st, ok := walSt[sk]; ok {
+			for seq := range st.unresolved {
+				if seq-1 < rs.Since {
+					rs.Since = seq - 1
+				}
+			}
+		}
+		if fs.full || d.damaged {
+			rs.Since = 0
+		}
+		d.stash[sk] = rs
+	}
+
+	// Phase 5: normalize on disk. Committed entries all land in
+	// Bitcask; the WAL is rewritten to hold exactly the surviving
+	// uncommitted appends.
+	for _, sk := range skeys {
+		fs := final[sk]
+		eks := make([]entryKey, 0, len(fs.entries))
+		for ek := range fs.entries {
+			eks = append(eks, ek)
+		}
+		sort.Slice(eks, func(i, j int) bool {
+			if eks[i].key != eks[j].key {
+				return eks[i].key < eks[j].key
+			}
+			return eks[i].ver < eks[j].ver
+		})
+		for _, ek := range eks {
+			e := fs.entries[ek]
+			env := encodeEnvelope(e)
+			key := encodeDBKey(sk, ek)
+			if cur, ok, err := db.Get(key); err == nil && ok && bytes.Equal(cur, env) {
+				continue
+			}
+			if err := db.Put(key, env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := db.Sync(); err != nil {
+		return nil, err
+	}
+	sort.Slice(uncommitted, func(i, j int) bool {
+		a, b := uncommitted[i], uncommitted[j]
+		if a.sk != b.sk {
+			if a.sk.Memgest != b.sk.Memgest {
+				return a.sk.Memgest < b.sk.Memgest
+			}
+			return a.sk.Shard < b.sk.Shard
+		}
+		return a.e.Seq < b.e.Seq
+	})
+	recs := make([][]byte, len(uncommitted))
+	for i, p := range uncommitted {
+		recs[i] = encodeWALRecord(kAppend, p.sk, p.e.Seq, &p.e.Rec, p.e.Value, p.e.HasValue)
+	}
+	segs, err := w.Compact(recs)
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range uncommitted {
+		d.unresolved[urKey{p.sk, p.e.Seq}] = segs[i]
+		d.segLive[segs[i]]++
+	}
+	return d, nil
+}
+
+// Recovered returns the replayed durable state, keyed by shard. The
+// caller installs it into the node's memgest tables on the first
+// config push and treats it as read-only afterwards.
+func (d *Durable) Recovered() map[ShardKey]*RecoveredShard { return d.stash }
+
+// Damaged reports whether recovery found evidence of lost durable
+// bytes (every stash shard then carries Since == 0).
+func (d *Durable) Damaged() bool { return d.damaged }
+
+// Append persists a write-ahead append: the entry just added to a
+// metadata table, before any ack references it. value rides along for
+// Rep memgests (hasValue); SRS appends are metadata-only.
+func (d *Durable) Append(sk ShardKey, seq proto.Seq, rec *proto.MetaRecord, value []byte, hasValue bool) error {
+	seg, err := d.w.Append(encodeWALRecord(kAppend, sk, seq, rec, value, hasValue))
+	if err != nil {
+		return err
+	}
+	d.unresolved[urKey{sk, seq}] = seg
+	d.segLive[seg]++
+	d.appends++
+	return nil
+}
+
+// Commit persists an entry's commit: the full record goes to Bitcask
+// and a slim marker to the WAL, resolving the matching append.
+func (d *Durable) Commit(sk ShardKey, seq proto.Seq, rec *proto.MetaRecord, value []byte, hasValue bool) error {
+	e := RecoveredEntry{Rec: *rec, Seq: seq, Value: value, HasValue: hasValue}
+	e.Rec.Committed = true
+	if err := d.db.Put(encodeDBKey(sk, entryKey{rec.Key, rec.Version}), encodeEnvelope(&e)); err != nil {
+		return err
+	}
+	slim := proto.MetaRecord{Key: rec.Key, Version: rec.Version}
+	seg, err := d.w.Append(encodeWALRecord(kCommit, sk, seq, &slim, nil, false))
+	if err != nil {
+		return err
+	}
+	d.segLive[seg]++
+	d.pendingSegs = append(d.pendingSegs, seg)
+	d.resolve(sk, seq)
+	return nil
+}
+
+// Install persists an entry learned through recovery (already
+// committed group-wide): Bitcask only — there is no append to resolve
+// and no ordering against the WAL to keep.
+func (d *Durable) Install(sk ShardKey, seq proto.Seq, rec *proto.MetaRecord, value []byte, hasValue bool) error {
+	e := RecoveredEntry{Rec: *rec, Seq: seq, Value: value, HasValue: hasValue}
+	e.Rec.Committed = true
+	return d.db.Put(encodeDBKey(sk, entryKey{rec.Key, rec.Version}), encodeEnvelope(&e))
+}
+
+// Purge removes a version (GC of superseded versions, or abort of an
+// uncommitted append). seq is the purged entry's sequence when known.
+func (d *Durable) Purge(sk ShardKey, seq proto.Seq, key string, ver proto.Version) error {
+	if err := d.db.Delete(encodeDBKey(sk, entryKey{key, ver})); err != nil {
+		return err
+	}
+	slim := proto.MetaRecord{Key: key, Version: ver}
+	seg, err := d.w.Append(encodeWALRecord(kPurge, sk, seq, &slim, nil, false))
+	if err != nil {
+		return err
+	}
+	d.segLive[seg]++
+	d.pendingSegs = append(d.pendingSegs, seg)
+	if seq != 0 {
+		d.resolve(sk, seq)
+	}
+	return nil
+}
+
+// Reset voids all durable state of a shard — the node shed the role,
+// so replaying any of it after a crash would resurrect another
+// node's past.
+func (d *Durable) Reset(sk ShardKey) error {
+	if _, err := d.db.DeletePrefix(string(encodeDBPrefix(sk))); err != nil {
+		return err
+	}
+	seg, err := d.w.Append(encodeWALRecord(kReset, sk, 0, &proto.MetaRecord{}, nil, false))
+	if err != nil {
+		return err
+	}
+	d.segLive[seg]++
+	d.pendingSegs = append(d.pendingSegs, seg)
+	for uk, aseg := range d.unresolved {
+		if uk.sk == sk {
+			delete(d.unresolved, uk)
+			d.pendingSegs = append(d.pendingSegs, aseg)
+		}
+	}
+	delete(d.stash, sk)
+	return nil
+}
+
+func (d *Durable) resolve(sk ShardKey, seq proto.Seq) {
+	uk := urKey{sk, seq}
+	if seg, ok := d.unresolved[uk]; ok {
+		delete(d.unresolved, uk)
+		d.pendingSegs = append(d.pendingSegs, seg)
+	}
+}
+
+// Dirty reports whether unsynced mutations exist.
+func (d *Durable) Dirty() bool { return d.w.Dirty() || d.db.Dirty() }
+
+// MaybeSync applies the fsync policy at a group-commit boundary, where
+// now is the node's event clock. The hosting runner must not emit the
+// batch's outputs if this fails: an un-fsyncable disk means acks can
+// no longer promise durability, so the node crash-stops instead
+// (fsyncgate semantics).
+func (d *Durable) MaybeSync(now time.Duration) error {
+	switch d.opts.Policy {
+	case FsyncAlways:
+		if d.Dirty() {
+			return d.Sync()
+		}
+	case FsyncInterval:
+		if d.Dirty() && now-d.lastSync >= d.opts.Interval {
+			d.lastSync = now
+			return d.Sync()
+		}
+	case FsyncNever:
+	}
+	return nil
+}
+
+// Sync fsyncs Bitcask, then the WAL — the order the crash-consistency
+// invariant depends on — then settles prune bookkeeping and drops any
+// fully-resolved prefix of sealed WAL segments.
+func (d *Durable) Sync() error {
+	if err := d.db.Sync(); err != nil {
+		return err
+	}
+	if err := d.w.Sync(); err != nil {
+		return err
+	}
+	d.syncs++
+	for _, seg := range d.pendingSegs {
+		d.segLive[seg]--
+	}
+	d.pendingSegs = d.pendingSegs[:0]
+	return d.checkpoint()
+}
+
+// checkpoint prunes the fully-resolved sealed prefix of the WAL and
+// compacts Bitcask once enough dead records accumulate.
+func (d *Durable) checkpoint() error {
+	sealed := d.w.SealedSegments()
+	cut := -1
+	for i, seg := range sealed {
+		if d.segLive[seg] != 0 {
+			break
+		}
+		cut = i
+	}
+	if cut >= 0 {
+		if err := d.w.PruneTo(sealed[cut] + 1); err != nil {
+			return err
+		}
+		for _, seg := range sealed[:cut+1] {
+			delete(d.segLive, seg)
+		}
+	}
+	if d.db.Dead() >= d.opts.CompactDead {
+		return d.db.Merge()
+	}
+	return nil
+}
+
+// Stats is a point-in-time summary for tests and monitoring.
+type Stats struct {
+	Appends     uint64
+	Syncs       uint64
+	Unresolved  int
+	WALSegments int
+	DataFiles   int
+	LiveKeys    int
+}
+
+// DurableStats reports the store's counters.
+func (d *Durable) DurableStats() Stats {
+	return Stats{
+		Appends:     d.appends,
+		Syncs:       d.syncs,
+		Unresolved:  len(d.unresolved),
+		WALSegments: len(d.w.SealedSegments()) + 1,
+		DataFiles:   len(d.db.Files()),
+		LiveKeys:    d.db.Len(),
+	}
+}
+
+// Close flushes and fsyncs both engines and closes every file.
+func (d *Durable) Close() error {
+	err := d.Sync()
+	if werr := d.w.Close(); err == nil {
+		err = werr
+	}
+	if derr := d.db.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
+// --- encodings -------------------------------------------------------
+
+// Bitcask keys: [mg u32][shard u32][version u64][key bytes], all
+// little-endian. The 8-byte (mg, shard) prefix is the unit of Reset.
+func encodeDBPrefix(sk ShardKey) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(sk.Memgest))
+	binary.LittleEndian.PutUint32(b[4:], sk.Shard)
+	return b[:]
+}
+
+func encodeDBKey(sk ShardKey, ek entryKey) string {
+	b := make([]byte, 0, 16+len(ek.key))
+	b = append(b, encodeDBPrefix(sk)...)
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], uint64(ek.ver))
+	b = append(b, v[:]...)
+	b = append(b, ek.key...)
+	return string(b)
+}
+
+func decodeDBKey(s string) (ShardKey, entryKey, bool) {
+	if len(s) < 16 {
+		return ShardKey{}, entryKey{}, false
+	}
+	b := []byte(s)
+	sk := ShardKey{
+		Memgest: proto.MemgestID(binary.LittleEndian.Uint32(b[0:])),
+		Shard:   binary.LittleEndian.Uint32(b[4:]),
+	}
+	ek := entryKey{
+		ver: proto.Version(binary.LittleEndian.Uint64(b[8:])),
+		key: string(b[16:]),
+	}
+	return sk, ek, true
+}
+
+// Bitcask envelope: [seq u64][metaRecord][hasValue u8][value].
+func encodeEnvelope(e *RecoveredEntry) []byte {
+	b := make([]byte, 0, 40+len(e.Rec.Key)+len(e.Value))
+	b = binary.LittleEndian.AppendUint64(b, uint64(e.Seq))
+	b = appendMetaRecord(b, &e.Rec)
+	if e.HasValue {
+		b = append(b, 1)
+		b = append(b, e.Value...)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+func decodeEnvelope(b []byte) (RecoveredEntry, bool) {
+	var e RecoveredEntry
+	if len(b) < 9 {
+		return e, false
+	}
+	e.Seq = proto.Seq(binary.LittleEndian.Uint64(b))
+	rec, rest, ok := readMetaRecord(b[8:])
+	if !ok || len(rest) < 1 {
+		return e, false
+	}
+	e.Rec = rec
+	if rest[0] == 1 {
+		e.HasValue = true
+		e.Value = append([]byte(nil), rest[1:]...)
+	} else if len(rest) != 1 {
+		return e, false
+	}
+	return e, true
+}
+
+// WAL record: [kind u8][mg u32][shard u32][seq u64][metaRecord]
+// [hasValue u8][value]; kCommit/kPurge carry a slim record (key and
+// version only), kReset an empty one.
+func encodeWALRecord(kind byte, sk ShardKey, seq proto.Seq, rec *proto.MetaRecord, value []byte, hasValue bool) []byte {
+	b := make([]byte, 0, 48+len(rec.Key)+len(value))
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(sk.Memgest))
+	b = binary.LittleEndian.AppendUint32(b, sk.Shard)
+	b = binary.LittleEndian.AppendUint64(b, uint64(seq))
+	b = appendMetaRecord(b, rec)
+	if hasValue {
+		b = append(b, 1)
+		b = append(b, value...)
+	} else {
+		b = append(b, 0)
+	}
+	return b
+}
+
+type walRecord struct {
+	kind     byte
+	sk       ShardKey
+	seq      proto.Seq
+	rec      proto.MetaRecord
+	value    []byte
+	hasValue bool
+}
+
+func decodeWALRecord(b []byte) (walRecord, bool) {
+	var r walRecord
+	if len(b) < 17 {
+		return r, false
+	}
+	r.kind = b[0]
+	r.sk.Memgest = proto.MemgestID(binary.LittleEndian.Uint32(b[1:]))
+	r.sk.Shard = binary.LittleEndian.Uint32(b[5:])
+	r.seq = proto.Seq(binary.LittleEndian.Uint64(b[9:]))
+	rec, rest, ok := readMetaRecord(b[17:])
+	if !ok || len(rest) < 1 {
+		return r, false
+	}
+	r.rec = rec
+	if rest[0] == 1 {
+		r.hasValue = true
+		r.value = append([]byte(nil), rest[1:]...)
+	} else if len(rest) != 1 {
+		return r, false
+	}
+	return r, true
+}
+
+// appendMetaRecord mirrors the wire encoding of proto.MetaRecord
+// ([u16 keyLen][key][version u64][memgest u32][flags][length u32]
+// [locBlock u32][locOff u32]) without going through a proto writer.
+func appendMetaRecord(b []byte, m *proto.MetaRecord) []byte {
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(m.Key)))
+	b = append(b, m.Key...)
+	b = binary.LittleEndian.AppendUint64(b, uint64(m.Version))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.Memgest))
+	var flags byte
+	if m.Committed {
+		flags |= 1
+	}
+	if m.Tombstone {
+		flags |= 2
+	}
+	b = append(b, flags)
+	b = binary.LittleEndian.AppendUint32(b, m.Length)
+	b = binary.LittleEndian.AppendUint32(b, m.LocBlock)
+	b = binary.LittleEndian.AppendUint32(b, m.LocOff)
+	return b
+}
+
+func readMetaRecord(b []byte) (proto.MetaRecord, []byte, bool) {
+	var m proto.MetaRecord
+	if len(b) < 2 {
+		return m, nil, false
+	}
+	klen := int(binary.LittleEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < klen+21 {
+		return m, nil, false
+	}
+	m.Key = string(b[:klen])
+	b = b[klen:]
+	m.Version = proto.Version(binary.LittleEndian.Uint64(b))
+	m.Memgest = proto.MemgestID(binary.LittleEndian.Uint32(b[8:]))
+	flags := b[12]
+	m.Committed = flags&1 != 0
+	m.Tombstone = flags&2 != 0
+	m.Length = binary.LittleEndian.Uint32(b[13:])
+	m.LocBlock = binary.LittleEndian.Uint32(b[17:])
+	m.LocOff = binary.LittleEndian.Uint32(b[21:])
+	return m, b[25:], true
+}

@@ -41,6 +41,16 @@ func (t *Tracker) Next() proto.Seq {
 	return s
 }
 
+// Advance moves the allocator past seq. A coordinator recovering from
+// disk calls this with the highest sequence its durable state (or a
+// peer's fetch reply) mentions, so re-allocated sequences can never
+// collide with its previous life's.
+func (t *Tracker) Advance(seq proto.Seq) {
+	if seq >= t.next {
+		t.next = seq + 1
+	}
+}
+
 // Open registers an in-flight entry requiring `need` remote acks.
 // need == 0 entries are trivially complete and are not registered.
 func (t *Tracker) Open(seq proto.Seq, need int) {

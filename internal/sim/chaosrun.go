@@ -6,6 +6,7 @@ import (
 	"ring/internal/core"
 	"ring/internal/linearize"
 	"ring/internal/proto"
+	"ring/internal/replog"
 )
 
 // ChaosRunSpec fully determines one chaos run: cluster shape, seeded
@@ -33,6 +34,12 @@ type ChaosRunSpec struct {
 	// CheckBudget caps linearizability search states per key (<=0:
 	// linearize.DefaultBudget).
 	CheckBudget int
+	// Durable activates the disk fault plane: every node runs a real
+	// durable engine (fsync=always) on a simulated crash-semantics
+	// disk, the seed-generated schedule becomes GenDurableSchedule
+	// (kill -9 + recover-from-disk, WAL corruption, fsync faults), and
+	// restarted nodes recover from disk instead of rejoining empty.
+	Durable bool
 }
 
 func (s ChaosRunSpec) withDefaults() ChaosRunSpec {
@@ -105,9 +112,19 @@ func RunChaos(spec ChaosRunSpec) ChaosRunResult {
 		panic(err) // static spec; cannot fail
 	}
 	s := New(cfg, cluster.Opts, DefaultModel())
+	if spec.Durable {
+		// fsync=always: an acknowledged write is a durable write, so
+		// every committed entry must survive any kill in the schedule.
+		if err := s.EnableDurable(spec.Seed, replog.DurableOptions{Policy: replog.FsyncAlways}); err != nil {
+			panic(err) // fresh in-memory disks; cannot fail
+		}
+	}
 	s.EnableTicks(100 * time.Microsecond)
 
 	sched := GenSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
+	if spec.Durable {
+		sched = GenDurableSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
+	}
 	if spec.Schedule != nil {
 		sched = *spec.Schedule
 	}

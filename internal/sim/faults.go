@@ -33,6 +33,9 @@ type FaultFunc func(now time.Duration, from, to string, msg proto.Message, size 
 // FaultStats counts injected faults.
 type FaultStats struct {
 	Dropped, Delayed, Duplicated uint64
+	// Corrupted counts WAL bit flips that actually landed (a corrupt
+	// step on an empty WAL is a no-op).
+	Corrupted uint64
 }
 
 // SetFaultFunc installs (or, with nil, removes) the message fault
@@ -92,11 +95,15 @@ func (s *Sim) unblock(from, to string) {
 // Dead reports whether a node is currently crashed.
 func (s *Sim) Dead(id proto.NodeID) bool { return s.nodes[id].dead }
 
-// Restart brings a killed node back with EMPTY state, as a rejoining
-// quarantined state machine (core.NewRejoining) built from the boot
-// configuration: it knows peer addresses but holds no data roles until
-// the current leader re-admits it. The incarnation bump fences every
-// event scheduled for the previous life.
+// Restart brings a killed node back as a rejoining quarantined state
+// machine built from the boot configuration: it knows peer addresses
+// but installs no data roles until the current leader re-admits it.
+// With the disk fault plane active (EnableDurable) the node recovers
+// from its surviving disk state first — replaying the WAL, rebuilding
+// its tables up to the durable commit index, and advertising the
+// recovered state in its Join so the leader lets it keep its roles and
+// delta-sync; otherwise it comes back EMPTY (core.NewRejoining). The
+// incarnation bump fences every event scheduled for the previous life.
 func (s *Sim) Restart(id proto.NodeID) {
 	h := s.nodes[id]
 	h.inc++
@@ -106,7 +113,7 @@ func (s *Sim) Restart(id proto.NodeID) {
 	h.cpuFreeAt = s.now
 	h.nicFreeAt = s.now
 	h.lastStats = core.Stats{}
-	h.node = core.NewRejoining(id, s.cfg0.Clone(), s.opts)
+	h.node = s.recoverNode(id)
 	if h.tickEvery > 0 {
 		s.push(&event{at: s.now + h.tickEvery, kind: evTick, node: id, inc: h.inc})
 	}

@@ -39,6 +39,17 @@ const (
 	NemFlaky
 	// NemCalm removes the flaky fault plane.
 	NemCalm
+	// NemCorrupt flips one random bit in node A's newest WAL segment
+	// (disk fault plane only; no-op otherwise). The CRC framing must
+	// catch it at the next recovery.
+	NemCorrupt
+	// NemFsyncErr makes node A's disk fail every fsync; the node must
+	// crash-stop at its next batch boundary (fsyncgate semantics).
+	NemFsyncErr
+	// NemFsyncOK heals node A's disk (clears errors and slowness).
+	NemFsyncOK
+	// NemFsyncSlow makes node A's fsyncs 10x slower.
+	NemFsyncSlow
 )
 
 // NemesisStep is one scheduled fault action.
@@ -68,6 +79,14 @@ func (st NemesisStep) String() string {
 		return fmt.Sprintf("%s:flaky:%d:%d:%s", st.At, st.DropPct, st.DupPct, st.MaxDelay)
 	case NemCalm:
 		return fmt.Sprintf("%s:calm", st.At)
+	case NemCorrupt:
+		return fmt.Sprintf("%s:corrupt:%d", st.At, st.A)
+	case NemFsyncErr:
+		return fmt.Sprintf("%s:fsyncerr:%d", st.At, st.A)
+	case NemFsyncOK:
+		return fmt.Sprintf("%s:fsyncok:%d", st.At, st.A)
+	case NemFsyncSlow:
+		return fmt.Sprintf("%s:fsyncslow:%d", st.At, st.A)
 	}
 	return fmt.Sprintf("%s:unknown", st.At)
 }
@@ -143,6 +162,20 @@ func ParseSchedule(text string) (Schedule, error) {
 			st.Kind = NemHealAll
 		case "calm":
 			st.Kind = NemCalm
+		case "corrupt", "fsyncerr", "fsyncok", "fsyncslow":
+			switch fields[1] {
+			case "corrupt":
+				st.Kind = NemCorrupt
+			case "fsyncerr":
+				st.Kind = NemFsyncErr
+			case "fsyncok":
+				st.Kind = NemFsyncOK
+			case "fsyncslow":
+				st.Kind = NemFsyncSlow
+			}
+			if st.A, err = node(2); err != nil {
+				return s, err
+			}
 		case "flaky":
 			st.Kind = NemFlaky
 			if len(fields) != 5 {
@@ -228,6 +261,57 @@ func GenSchedule(seed int64, nodes []proto.NodeID, active time.Duration) Schedul
 	return s
 }
 
+// GenDurableSchedule derives a crash-recovery nemesis schedule from a
+// seed, for runs with the disk fault plane active: kill -9 + recover
+// from disk, kill + WAL bit-flip corruption + recover (the CRC framing
+// must detect it and recovery must fall back to a full resync), fsync
+// failure windows (the node crash-stops itself, then the disk heals
+// and the node recovers), and slow-fsync windows. Like GenSchedule it
+// keeps at most one node down at a time so every committed write stays
+// held by a live quorum, and heals everything by the end of the active
+// window.
+func GenDurableSchedule(seed int64, nodes []proto.NodeID, active time.Duration) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	ids := append([]proto.NodeID(nil), nodes...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var s Schedule
+	add := func(st NemesisStep) { s.Steps = append(s.Steps, st) }
+
+	steps := 3 + rng.Intn(4)
+	slot := active / time.Duration(steps+1)
+	for i := 0; i < steps; i++ {
+		base := slot*time.Duration(i) + time.Duration(rng.Int63n(int64(slot/2)+1))
+		n := ids[rng.Intn(len(ids))]
+		down := time.Duration(1 + rng.Int63n(int64(slot/2)+1))
+		switch rng.Intn(4) {
+		case 0: // kill -9, recover from what fsync made durable
+			add(NemesisStep{At: base, Kind: NemKill, A: n})
+			add(NemesisStep{At: base + down, Kind: NemRestart, A: n})
+		case 1: // kill -9, corrupt the WAL, recover — CRC must catch it
+			add(NemesisStep{At: base, Kind: NemKill, A: n})
+			add(NemesisStep{At: base + down/2, Kind: NemCorrupt, A: n})
+			add(NemesisStep{At: base + down, Kind: NemRestart, A: n})
+		case 2: // disk fails fsyncs: node crash-stops; heal, recover
+			add(NemesisStep{At: base, Kind: NemFsyncErr, A: n})
+			add(NemesisStep{At: base + down, Kind: NemFsyncOK, A: n})
+			add(NemesisStep{At: base + down, Kind: NemRestart, A: n})
+		case 3: // slow disk window
+			add(NemesisStep{At: base, Kind: NemFsyncSlow, A: n})
+			add(NemesisStep{At: base + down, Kind: NemFsyncOK, A: n})
+		}
+	}
+	// Deterministic cleanup: whatever subset survives shrinking, every
+	// disk is healthy and every node is up after `active`.
+	add(NemesisStep{At: active, Kind: NemCalm})
+	add(NemesisStep{At: active, Kind: NemHealAll})
+	for _, n := range ids {
+		add(NemesisStep{At: active, Kind: NemFsyncOK, A: n})
+		add(NemesisStep{At: active, Kind: NemRestart, A: n})
+	}
+	sort.SliceStable(s.Steps, func(i, j int) bool { return s.Steps[i].At < s.Steps[j].At })
+	return s
+}
+
 // Apply schedules every step on the simulator. faultSeed feeds the
 // flaky fault plane's generator; with the same schedule and seed the
 // injected faults are identical run to run (the fault hook fires in
@@ -270,6 +354,14 @@ func (s Schedule) Apply(sim *Sim, faultSeed int64) {
 				})
 			case NemCalm:
 				sim.SetFaultFunc(nil)
+			case NemCorrupt:
+				sim.CorruptDisk(step.A)
+			case NemFsyncErr:
+				sim.FailDisk(step.A, true)
+			case NemFsyncOK:
+				sim.FailDisk(step.A, false)
+			case NemFsyncSlow:
+				sim.SlowDisk(step.A, true)
 			}
 		})
 	}

@@ -169,6 +169,9 @@ type Sim struct {
 	faultFn FaultFunc
 	blocked map[string]map[string]bool
 
+	// Disk fault plane (see durable.go); nil unless EnableDurable ran.
+	dur *durPlane
+
 	// Delivered counts messages delivered, for sanity checks.
 	Delivered uint64
 	// BytesOnWire sums delivered payload bytes, for the ablations that
@@ -221,6 +224,8 @@ func (s *Sim) Kill(id proto.NodeID) {
 	h.inc++
 	h.queue = nil
 	h.procAt = false
+	// kill -9 for the simulated disk: unsynced bytes are torn off.
+	s.crashDisk(id)
 }
 
 // RegisterClient installs a handler for messages sent to a client
@@ -390,6 +395,16 @@ func (s *Sim) process(h *nodeHost, id proto.NodeID, qm queuedMsg) {
 	d += time.Duration(st.BytesMetaInstalled-h.lastStats.BytesMetaInstalled) * s.Model.CPUPerByteMeta
 	d += time.Duration(qm.size) * s.Model.CPUPerByteCopy
 	h.lastStats = st
+
+	// Group commit at the batch boundary, BEFORE any outputs escape. A
+	// failed fsync crash-stops the node: its acknowledgements for this
+	// batch are never sent, exactly like the real runner.
+	syncCost, syncOK := s.syncDurable(h, id)
+	if !syncOK {
+		s.Kill(id)
+		return
+	}
+	d += syncCost
 
 	outBufs := make([]int, len(outs))
 	for i, o := range outs {

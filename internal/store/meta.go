@@ -118,6 +118,38 @@ func (t *MetaTable) Records() []proto.MetaRecord {
 	return out
 }
 
+// RecordsSince serializes the replicated part of every entry carried
+// by a log sequence after since, sorted by key then version. Entries
+// with Seq == 0 (installed by recovery, original sequence unknown) are
+// always included — the requester may be missing them regardless of
+// its delta floor. RecordsSince(0) is equivalent to Records().
+func (t *MetaTable) RecordsSince(since proto.Seq) []proto.MetaRecord {
+	out := make([]proto.MetaRecord, 0, len(t.entries))
+	for _, e := range t.entries {
+		if e.Seq == 0 || e.Seq > since {
+			out = append(out, e.Rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key != out[j].Key {
+			return out[i].Key < out[j].Key
+		}
+		return out[i].Version < out[j].Version
+	})
+	return out
+}
+
+// MaxSeq returns the highest log sequence recorded in the table.
+func (t *MetaTable) MaxSeq() proto.Seq {
+	var max proto.Seq
+	for _, e := range t.entries {
+		if e.Seq > max {
+			max = e.Seq
+		}
+	}
+	return max
+}
+
 // Range calls fn for every entry until fn returns false.
 func (t *MetaTable) Range(fn func(*Entry) bool) {
 	for _, e := range t.entries {
