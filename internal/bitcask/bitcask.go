@@ -445,11 +445,18 @@ func (db *DB) Merge() error {
 		newLocs[k] = l
 		hints[l.file] = append(hints[l.file], hintRec{k, l})
 	}
-	if err := db.Sync(); err != nil {
+	// Seal the merged generation behind a fresh active file before any
+	// hint is written. Open trusts a hint for every non-newest file, so
+	// a hint may only ever describe a file that can never be appended
+	// to again: post-merge Puts must land in a hint-less file, or the
+	// stale hint would hide them from the keydir after the next reopen.
+	// rotate syncs the final merge file on the way out, making the
+	// merged data durable.
+	if err := db.rotate(); err != nil {
 		return err
 	}
-	// Merged data durable: write the hints, then drop the old
-	// generation. Hint files carry no authoritative state — a crash
+	// Merged data durable and sealed: write the hints, then drop the
+	// old generation. Hint files carry no authoritative state — a crash
 	// between these steps only costs a rescan or a re-merge.
 	for idx, recs := range hints {
 		h, err := db.fs.OpenFile(hintName(idx))

@@ -257,3 +257,36 @@ func TestLargeValues(t *testing.T) {
 		}
 	}
 }
+
+func TestPostMergeRecordsSurviveSealAndReopen(t *testing.T) {
+	// Regression: Merge used to write a hint for its final data file
+	// while that file was still the active one. Records Put after the
+	// merge landed in that same file, but its hint was never updated,
+	// so once the file sealed via rotation a reopen trusted the stale
+	// hint and silently dropped every post-merge record.
+	fs := wal.NewMemFS()
+	db := open(t, fs, Options{SegmentBytes: 128})
+	for i := 0; i < 12; i++ {
+		mustPut(t, db, fmt.Sprintf("k%d", i%4), fmt.Sprintf("gen%d", i))
+	}
+	if err := db.Merge(); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	mustPut(t, db, "post-merge-key", "survives")
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Seal the post-merge file by forcing rotations past it.
+	for i := 0; i < 12; i++ {
+		mustPut(t, db, fmt.Sprintf("fill%02d", i), "padpadpadpadpadpad")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := open(t, fs, Options{SegmentBytes: 128})
+	mustGet(t, db2, "post-merge-key", "survives")
+	mustGet(t, db2, "k0", "gen8")
+	for i := 0; i < 12; i++ {
+		mustGet(t, db2, fmt.Sprintf("fill%02d", i), "padpadpadpadpadpad")
+	}
+}

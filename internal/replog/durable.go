@@ -782,7 +782,9 @@ func readMetaRecord(b []byte) (proto.MetaRecord, []byte, bool) {
 	}
 	klen := int(binary.LittleEndian.Uint16(b))
 	b = b[2:]
-	if len(b) < klen+21 {
+	// 25 fixed bytes follow the key: version 8 + memgest 4 + flags 1 +
+	// length 4 + locBlock 4 + locOff 4.
+	if len(b) < klen+25 {
 		return m, nil, false
 	}
 	m.Key = string(b[:klen])

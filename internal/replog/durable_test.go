@@ -492,3 +492,24 @@ func TestTrackerAdvance(t *testing.T) {
 		t.Fatalf("Next after stale Advance = %d", got)
 	}
 }
+
+func TestReadMetaRecordTruncated(t *testing.T) {
+	// Regression: the bounds check was 4 bytes short, so a payload cut
+	// inside the trailing LocBlock/LocOff fields panicked instead of
+	// returning ok=false — turning corruption that slipped past the CRC
+	// (or a cross-version record) into a recovery crash loop.
+	full := appendMetaRecord(nil, &proto.MetaRecord{
+		Key: "key", Version: 7, Memgest: 3, Committed: true,
+		Length: 4, LocBlock: 9, LocOff: 11,
+	})
+	for cut := 1; cut <= len(full); cut++ {
+		if _, _, ok := readMetaRecord(full[:len(full)-cut]); ok {
+			t.Fatalf("meta record with %d bytes cut off parsed ok", cut)
+		}
+	}
+	m, rest, ok := readMetaRecord(full)
+	if !ok || len(rest) != 0 || m.Key != "key" || m.Version != 7 ||
+		!m.Committed || m.Length != 4 || m.LocBlock != 9 || m.LocOff != 11 {
+		t.Fatalf("full meta record = %+v ok=%v rest=%d", m, ok, len(rest))
+	}
+}

@@ -52,16 +52,43 @@ func DirFS(dir string) FS { return dirFS{dir: dir} }
 type dirFS struct{ dir string }
 
 func (d dirFS) OpenFile(name string) (File, error) {
-	f, err := os.OpenFile(filepath.Join(d.dir, name), os.O_CREATE|os.O_RDWR, 0o644)
+	path := filepath.Join(d.dir, name)
+	_, statErr := os.Stat(path)
+	created := os.IsNotExist(statErr)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if created {
+		// A new dirent is not crash-durable until the directory itself
+		// is fsynced: without this, a freshly rotated WAL segment or
+		// Bitcask data file can vanish entirely after power loss even
+		// though File.Sync succeeded on its contents.
+		if err := d.syncDir(); err != nil {
+			f.Close() //ring:durableok failed-path teardown, the primary error wins
+			return nil, err
+		}
 	}
 	st, err := f.Stat()
 	if err != nil {
-		f.Close()
+		f.Close() //ring:durableok failed-path teardown, the primary error wins
 		return nil, err
 	}
 	return &osFile{f: f, size: st.Size()}, nil
+}
+
+// syncDir fsyncs the directory itself, making file creations and
+// removals crash-durable.
+func (d dirFS) syncDir() error {
+	df, err := os.Open(d.dir)
+	if err != nil {
+		return err
+	}
+	if err := df.Sync(); err != nil {
+		df.Close() //ring:durableok failed-path teardown, the primary error wins
+		return err
+	}
+	return df.Close()
 }
 
 func (d dirFS) ReadFile(name string) ([]byte, error) {
@@ -70,10 +97,15 @@ func (d dirFS) ReadFile(name string) ([]byte, error) {
 
 func (d dirFS) Remove(name string) error {
 	err := os.Remove(filepath.Join(d.dir, name))
-	if err != nil && os.IsNotExist(err) {
-		return nil
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
 	}
-	return err
+	// Make the removal itself crash-durable, so Compact/Merge never
+	// treat an old generation as gone while its dirent could reappear.
+	return d.syncDir()
 }
 
 func (d dirFS) List() ([]string, error) {

@@ -321,16 +321,17 @@ func (w *WAL) Appends() uint64 { return w.appends }
 // purged version on replay.
 func (w *WAL) PruneTo(idx uint64) error {
 	kept := w.sealed[:0]
-	for _, s := range w.sealed {
+	for i, s := range w.sealed {
 		if s >= idx {
 			kept = append(kept, s)
 			continue
 		}
 		if err := w.fs.Remove(SegName(s)); err != nil {
-			// Keep the segment in the sealed list; replaying it again is
-			// merely wasteful, losing track of it is not.
-			kept = append(kept, s)
-			w.sealed = append(w.sealed[:0], kept...)
+			// Keep the failed segment and everything not yet visited in
+			// the sealed list; replaying or re-pruning them later is
+			// merely wasteful, losing track of them is not (a dropped
+			// entry is never pruned and its segLive count never settles).
+			w.sealed = append(kept, w.sealed[i:]...)
 			return err
 		}
 	}

@@ -310,3 +310,60 @@ func TestDirFS(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// failRemoveFS fails Remove for selected names; everything else passes
+// through.
+type failRemoveFS struct {
+	FS
+	fail map[string]error
+}
+
+func (f *failRemoveFS) Remove(name string) error {
+	if err := f.fail[name]; err != nil {
+		return err
+	}
+	return f.FS.Remove(name)
+}
+
+func TestPruneToErrorKeepsRemainder(t *testing.T) {
+	// Regression: a mid-prune Remove failure used to rebuild the sealed
+	// list from only the segments visited so far, dropping the untouched
+	// remainder — segments that still existed on disk but could never be
+	// pruned again.
+	fs := &failRemoveFS{FS: NewMemFS(), fail: map[string]error{}}
+	w, _ := collect(t, fs, Options{SegmentBytes: 64})
+	payload := bytes.Repeat([]byte("p"), 40)
+	for i := 0; i < 7; i++ {
+		if _, err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sealed := w.SealedSegments()
+	if len(sealed) < 3 {
+		t.Fatalf("want >=3 sealed segments, got %v", sealed)
+	}
+	boom := errors.New("remove blocked")
+	fs.fail[SegName(sealed[1])] = boom
+	if err := w.PruneTo(w.ActiveSegment()); !errors.Is(err, boom) {
+		t.Fatalf("PruneTo = %v, want %v", err, boom)
+	}
+	// The failed segment AND everything after it must stay tracked.
+	got := w.SealedSegments()
+	want := sealed[1:]
+	if len(got) != len(want) {
+		t.Fatalf("SealedSegments after failed prune = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SealedSegments after failed prune = %v, want %v", got, want)
+		}
+	}
+	// Heal the disk: a retry prunes the rest.
+	delete(fs.fail, SegName(sealed[1]))
+	if err := w.PruneTo(w.ActiveSegment()); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SealedSegments(); len(got) != 0 {
+		t.Fatalf("SealedSegments after healed prune = %v", got)
+	}
+}
