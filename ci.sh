@@ -66,6 +66,7 @@ go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
 go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
 go test -run=NONE -fuzz=FuzzGFKernels -fuzztime=10s ./internal/gf/
 go test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal/
+go test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=10s ./internal/lint/flow/
 
 go test -race -timeout 900s ./internal/...
 go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt

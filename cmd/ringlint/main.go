@@ -43,8 +43,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("ringlint", flag.ContinueOnError)
 	versionFlag := fs.String("V", "", "print version and exit (vet protocol)")
 	listFlag := fs.Bool("list", false, "list analyzers and exit")
+	jsonFlag := fs.Bool("json", false, "emit one JSON object per finding (standalone mode)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: ringlint [packages]  |  ringlint <file.cfg> (vet protocol)\n")
+		fmt.Fprintf(fs.Output(), "usage: ringlint [-json] [packages]  |  ringlint <file.cfg> (vet protocol)\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -63,7 +64,7 @@ func run(args []string) int {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return runVet(rest[0])
 	}
-	return runStandalone(rest)
+	return runStandalone(rest, *jsonFlag)
 }
 
 // printVersion implements `ringlint -V=full`. vet requires the output
@@ -87,7 +88,17 @@ func printVersion(mode string) int {
 
 // ------------------------------------------------------------- standalone
 
-func runStandalone(patterns []string) int {
+// jsonDiagnostic is the machine-readable finding shape emitted by
+// `ringlint -json`: one JSON object per line (JSONL), consumed by the
+// CI problem matcher and any tooling that wants findings without
+// scraping the human rendering.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Pos      string `json:"pos"` // file:line:col
+	Message  string `json:"message"`
+}
+
+func runStandalone(patterns []string, asJSON bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -96,6 +107,7 @@ func runStandalone(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "ringlint: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
 	status := 0
 	for _, pkg := range pkgs {
 		for _, terr := range pkg.TypeErrors {
@@ -111,7 +123,15 @@ func runStandalone(patterns []string) int {
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			if asJSON {
+				enc.Encode(jsonDiagnostic{
+					Analyzer: d.Analyzer,
+					Pos:      pkg.Fset.Position(d.Pos).String(),
+					Message:  strings.TrimPrefix(d.Message, d.Analyzer+": "),
+				})
+			} else {
+				fmt.Printf("%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+			}
 			if status == 0 {
 				status = 1
 			}

@@ -62,6 +62,9 @@ func (n *Node) checkClientOp(key string, fail func(proto.Status)) (uint32, bool)
 	return shard, true
 }
 
+// handlePut coordinates a client write.
+//
+//ring:handler
 func (n *Node) handlePut(from string, m *proto.Put) {
 	n.Stats.Puts++
 	fail := func(s proto.Status) { n.send(from, &proto.PutReply{Req: m.Req, Status: s}) }
@@ -77,6 +80,9 @@ func (n *Node) handlePut(from string, m *proto.Put) {
 	n.doWrite(from, m.Req, replyPut, shard, m.Key, m.Value, mi.ID, false)
 }
 
+// handleDelete coordinates a client delete (a tombstone write).
+//
+//ring:handler
 func (n *Node) handleDelete(from string, m *proto.Delete) {
 	n.Stats.Deletes++
 	fail := func(s proto.Status) { n.send(from, &proto.DeleteReply{Req: m.Req, Status: s}) }
@@ -134,7 +140,6 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 	}
 	seq := cs.tracker.Next()
 	e := &store.Entry{Rec: rec, Seq: seq}
-	need := 0
 
 	if n.opts.ChaosUnsafeAck {
 		// Injected bug (chaos-harness validation only): acknowledge and
@@ -161,9 +166,15 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 		cs.meta.Put(e)
 		vol.Add(key, ver, mgID)
 		n.persistAppend(st, shard, e)
-		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now)
+		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now) //ring:ackok deliberate ack-before-quorum chaos injection
 		return
 	}
+
+	// The quorum size is decided up front, before any redundancy
+	// traffic is issued: every scheme owes the same answer, and the
+	// commit decision below must be dominated by this bookkeeping
+	// (ackorder checks exactly that).
+	need := n.quorumAcks(st.info.Scheme)
 
 	switch st.info.Scheme.Kind {
 	case proto.SchemeSRS:
@@ -209,7 +220,6 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 				n.Stats.ParityUpdates++
 			}
 		}
-		need = n.quorumAcks(st.info.Scheme)
 
 	case proto.SchemeRep:
 		e.Value = append([]byte(nil), value...)
@@ -218,7 +228,6 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 			n.sendNode(rn, msg)
 			n.Stats.RepAppends++
 		}
-		need = n.quorumAcks(st.info.Scheme)
 	}
 
 	// Write-ahead: the entry is inserted (uncommitted) before the
@@ -487,6 +496,9 @@ func (n *Node) sendValueReply(st *mgState, cs *coordShard, e *store.Entry, clien
 	n.send(client, &proto.GetReply{Req: req, Status: proto.StOK, Version: e.Rec.Version, Value: value})
 }
 
+// handleMove coordinates a client move (re-put under a new memgest).
+//
+//ring:handler
 func (n *Node) handleMove(from string, m *proto.Move) {
 	n.Stats.Moves++
 	fail := func(s proto.Status) { n.send(from, &proto.MoveReply{Req: m.Req, Status: s}) }
@@ -534,8 +546,10 @@ func (n *Node) performMove(client string, req proto.ReqID, shard uint32, key str
 		return
 	}
 	if ref.Memgest == dst {
-		// Already there: succeed without a new version.
-		n.send(client, &proto.MoveReply{Req: req, Status: proto.StOK, Version: ref.Version})
+		// Already there: succeed without a new version. The version
+		// being reported is already committed and durable, so this is
+		// not an early ack.
+		n.send(client, &proto.MoveReply{Req: req, Status: proto.StOK, Version: ref.Version}) //ring:ackok no-op move: the version acked is already durable
 		return
 	}
 	cs := st.coord[shard]
@@ -559,6 +573,9 @@ func (n *Node) performMove(client string, req proto.ReqID, shard uint32, key str
 	n.doWrite(client, req, replyMove, shard, key, value, dst, false)
 }
 
+// handleRepAck counts a replica's ack toward the write's quorum.
+//
+//ring:handler
 func (n *Node) handleRepAck(from string, m *proto.RepAck) {
 	id, ok := parseNodeAddr(from)
 	if !ok {
@@ -567,6 +584,9 @@ func (n *Node) handleRepAck(from string, m *proto.RepAck) {
 	n.handleAck(m.Memgest, m.Shard, m.Seq, id)
 }
 
+// handleParityAck counts a parity node's ack toward the write's quorum.
+//
+//ring:handler
 func (n *Node) handleParityAck(from string, m *proto.ParityAck) {
 	id, ok := parseNodeAddr(from)
 	if !ok {

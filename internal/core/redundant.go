@@ -34,6 +34,8 @@ func (st *mgState) rseqFor(shard uint32) map[proto.Seq]store.EntryKey {
 // handleRepAppend applies a replicated-log entry on a replica of a
 // Rep memgest: store the (still uncommitted) metadata record and the
 // value, then acknowledge.
+//
+//ring:handler persist
 func (n *Node) handleRepAppend(from string, m *proto.RepAppend) {
 	st := n.mgFor(m.Memgest)
 	if st == nil {
@@ -50,6 +52,8 @@ func (n *Node) handleRepAppend(from string, m *proto.RepAppend) {
 // handleParityUpdate applies a coefficient-multiplied delta to this
 // parity node's region and installs the metadata record in its replica
 // of the shard's metadata hashtable.
+//
+//ring:handler persist
 func (n *Node) handleParityUpdate(from string, m *proto.ParityUpdate) {
 	st := n.mgFor(m.Memgest)
 	if st == nil || st.parity == nil {

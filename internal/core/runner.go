@@ -156,8 +156,13 @@ const maxDrain = 64
 // and the client replies they unlock as single per-peer sends. It
 // returns false once the packet channel has closed.
 //
+// SyncDurable runs under r.mu by design: the fsync must land before any
+// of the batch's outputs escape the lock (crash-stop-before-outputs),
+// and r.mu has no other contenders besides Inspect.
+//
 //ring:hotpath
 //ring:wallclock converts wall time to the node's event clock
+//ring:lockok deliberate hold-across-fsync, see above
 func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool {
 	open := true
 	r.mu.Lock()
@@ -212,6 +217,7 @@ func (r *Runner) drain(p transport.Packet, packets <-chan transport.Packet) bool
 //
 //ring:hotpath
 //ring:wallclock converts wall time to the node's event clock
+//ring:lockok deliberate hold-across-fsync, see drain
 func (r *Runner) dispatch(f func(time.Duration) []Out) bool {
 	r.mu.Lock()
 	outs := f(time.Since(r.start))
@@ -292,6 +298,11 @@ func (r *Runner) Kill() {
 	r.stop(false)
 }
 
+// stop shuts the event loop down. CloseDurable holds r.mu so a
+// concurrent Inspect cannot observe a half-closed store; the event loop
+// is already drained here.
+//
+//ring:lockok CloseDurable intentionally closes under r.mu, see above
 func (r *Runner) stop(closeDurable bool) {
 	select {
 	case <-r.stopped:

@@ -1,0 +1,427 @@
+// Package flow builds per-function control-flow graphs and
+// same-package call graphs for ringlint's dataflow analyzers
+// (ackorder, lockguard, goroutinelife). It is pure go/ast + go/types —
+// no external analysis framework — and deliberately conservative:
+// extra CFG edges are acceptable (they only weaken a "must pass"
+// claim and widen a "may reach" one, both safe directions for the
+// analyzers built on top), missing edges are not.
+//
+// Granularity: one Node per simple statement or control expression.
+// Composite statements are decomposed — an if contributes a node for
+// its condition, a for contributes nodes for init/cond/post, a select
+// contributes one node per communication clause — so a Node's Ast
+// never contains a nested statement (function literals excepted; their
+// bodies are separate functions and analyzers must not descend into
+// them when scanning a node). Synthetic anchor nodes (Ast == nil)
+// stitch constructs together and carry no events.
+//
+// Termination modelling: return, panic, os.Exit, log.Fatal* and
+// runtime.Goexit edges go to Exit. A for loop with no condition and no
+// reachable break never reaches Exit — exactly the property
+// goroutinelife checks. break/continue honour labels; goto resolves
+// forward and backward (an unresolvable label drops the edge rather
+// than failing, so building never errors on parseable input).
+package flow
+
+import (
+	"go/ast"
+)
+
+// Node is one CFG vertex: a simple statement or a control expression.
+// Entry, Exit and anchor nodes are synthetic (Ast == nil).
+type Node struct {
+	Ast   ast.Node
+	Succs []*Node
+	Preds []*Node
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry, Exit *Node
+	Nodes       []*Node
+}
+
+// Build constructs the CFG of a function body. It never panics on
+// syntactically valid input; semantic nonsense (goto to a missing
+// label, break outside a loop) degrades to dropped edges.
+func Build(body *ast.BlockStmt) *Graph {
+	b := &builder{
+		g:      &Graph{},
+		labels: map[string]*Node{},
+	}
+	b.g.Entry = b.newNode(nil)
+	b.g.Exit = b.newNode(nil)
+	out := b.stmt(body, []*Node{b.g.Entry})
+	b.linkAll(out, b.g.Exit)
+	for _, pg := range b.gotos {
+		if tgt, ok := b.labels[pg.label]; ok {
+			b.link(pg.from, tgt)
+		}
+	}
+	return b.g
+}
+
+// ctxKind distinguishes what an unlabeled break/continue binds to.
+type ctxKind int
+
+const (
+	ctxLoop ctxKind = iota
+	ctxSwitch
+	ctxSelect
+)
+
+// ctx is one enclosing breakable construct.
+type ctx struct {
+	kind  ctxKind
+	label string
+	// breakOut accumulates nodes whose control transfers past the
+	// construct.
+	breakOut []*Node
+	// continueTo is the node a continue jumps to (loops only).
+	continueTo *Node
+}
+
+type pendingGoto struct {
+	from  *Node
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	ctxs   []*ctx
+	labels map[string]*Node
+	gotos  []pendingGoto
+	// pendingLabel is the label to attach to the next loop/switch/
+	// select built (set by LabeledStmt).
+	pendingLabel string
+}
+
+func (b *builder) newNode(a ast.Node) *Node {
+	n := &Node{Ast: a}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) linkAll(from []*Node, to *Node) {
+	for _, f := range from {
+		b.link(f, to)
+	}
+}
+
+// node creates a node for a, wires in -> a, and returns it as the new
+// frontier element.
+func (b *builder) node(a ast.Node, in []*Node) *Node {
+	n := b.newNode(a)
+	b.linkAll(in, n)
+	return n
+}
+
+func (b *builder) pushCtx(kind ctxKind, continueTo *Node) *ctx {
+	c := &ctx{kind: kind, label: b.pendingLabel, continueTo: continueTo}
+	b.pendingLabel = ""
+	b.ctxs = append(b.ctxs, c)
+	return c
+}
+
+func (b *builder) popCtx() {
+	b.ctxs = b.ctxs[:len(b.ctxs)-1]
+}
+
+// findBreak returns the innermost breakable context, or the one with
+// the given label.
+func (b *builder) findBreak(label string) *ctx {
+	for i := len(b.ctxs) - 1; i >= 0; i-- {
+		c := b.ctxs[i]
+		if label == "" || c.label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+func (b *builder) findContinue(label string) *ctx {
+	for i := len(b.ctxs) - 1; i >= 0; i-- {
+		c := b.ctxs[i]
+		if c.kind != ctxLoop {
+			continue
+		}
+		if label == "" || c.label == label {
+			return c
+		}
+	}
+	return nil
+}
+
+// stmt builds the subgraph of s. in is the frontier flowing into s;
+// the returned slice is the frontier flowing out (empty when control
+// never falls through, e.g. after return or an infinite loop).
+func (b *builder) stmt(s ast.Stmt, in []*Node) []*Node {
+	if s == nil {
+		return in
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.pendingLabel = ""
+		for _, st := range s.List {
+			in = b.stmt(st, in)
+		}
+		return in
+
+	case *ast.LabeledStmt:
+		// The anchor is both the goto target and the entry into the
+		// labeled statement.
+		anchor := b.node(nil, in)
+		b.labels[s.Label.Name] = anchor
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(s.Stmt, []*Node{anchor})
+		b.pendingLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		b.pendingLabel = ""
+		in = b.stmt(s.Init, in)
+		cond := b.node(s.Cond, in)
+		thenOut := b.stmt(s.Body, []*Node{cond})
+		if s.Else != nil {
+			elseOut := b.stmt(s.Else, []*Node{cond})
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, cond)
+
+	case *ast.ForStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		in = b.stmt(s.Init, in)
+		var head *Node
+		if s.Cond != nil {
+			head = b.node(s.Cond, in)
+		} else {
+			head = b.node(nil, in)
+		}
+		b.pendingLabel = label
+		c := b.pushCtx(ctxLoop, head) // continue target patched below if post exists
+		var post *Node
+		if s.Post != nil {
+			post = b.newNode(s.Post)
+			c.continueTo = post
+		}
+		bodyOut := b.stmt(s.Body, []*Node{head})
+		b.popCtx()
+		if post != nil {
+			b.linkAll(bodyOut, post)
+			b.link(post, head)
+		} else {
+			b.linkAll(bodyOut, head)
+		}
+		out := c.breakOut
+		if s.Cond != nil {
+			out = append(out, head)
+		}
+		return out
+
+	case *ast.RangeStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		// The head evaluates X once and the per-iteration assignment;
+		// modelled as one node carrying X.
+		head := b.node(s.X, in)
+		b.pendingLabel = label
+		c := b.pushCtx(ctxLoop, head)
+		bodyOut := b.stmt(s.Body, []*Node{head})
+		b.popCtx()
+		b.linkAll(bodyOut, head)
+		// A range loop may always complete (conservative for ranging
+		// over a never-closed channel; see package doc).
+		return append(c.breakOut, head)
+
+	case *ast.SwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		in = b.stmt(s.Init, in)
+		var head *Node
+		if s.Tag != nil {
+			head = b.node(s.Tag, in)
+		} else {
+			head = b.node(nil, in)
+		}
+		b.pendingLabel = label
+		return b.switchClauses(s.Body, head)
+
+	case *ast.TypeSwitchStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		in = b.stmt(s.Init, in)
+		head := b.node(s.Assign, in)
+		b.pendingLabel = label
+		return b.switchClauses(s.Body, head)
+
+	case *ast.SelectStmt:
+		label := b.pendingLabel
+		b.pendingLabel = ""
+		head := b.node(nil, in)
+		b.pendingLabel = label
+		c := b.pushCtx(ctxSelect, nil)
+		var out []*Node
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			var entry *Node
+			if comm.Comm != nil {
+				entry = b.node(comm.Comm, []*Node{head})
+			} else {
+				entry = b.node(nil, []*Node{head}) // default clause
+			}
+			fr := []*Node{entry}
+			for _, st := range comm.Body {
+				fr = b.stmt(st, fr)
+			}
+			out = append(out, fr...)
+		}
+		b.popCtx()
+		// A select with no clauses blocks forever: no fallthrough edge.
+		return append(out, c.breakOut...)
+
+	case *ast.ReturnStmt:
+		n := b.node(s, in)
+		b.link(n, b.g.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		n := b.node(s, in)
+		switch s.Tok.String() {
+		case "break":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if c := b.findBreak(label); c != nil {
+				c.breakOut = append(c.breakOut, n)
+			}
+		case "continue":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if c := b.findContinue(label); c != nil && c.continueTo != nil {
+				b.link(n, c.continueTo)
+			}
+		case "goto":
+			if s.Label != nil {
+				b.gotos = append(b.gotos, pendingGoto{from: n, label: s.Label.Name})
+			}
+		case "fallthrough":
+			// Handled in switchClauses via the frontier it returns;
+			// here (malformed placement) it degrades to fallthrough
+			// into the next statement.
+			return []*Node{n}
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		n := b.node(s, in)
+		if isTerminalCall(s.X) {
+			b.link(n, b.g.Exit)
+			return nil
+		}
+		return []*Node{n}
+
+	default:
+		// Simple statements: assign, decl, incdec, send, go, defer,
+		// empty. One node, straight through.
+		return []*Node{b.node(s, in)}
+	}
+}
+
+// switchClauses wires the case clauses of a (type) switch: head
+// branches to each clause's guard chain, guards flow into the body,
+// fallthrough flows into the next body, and — when no default exists —
+// head flows past the whole construct.
+func (b *builder) switchClauses(body *ast.BlockStmt, head *Node) []*Node {
+	c := b.pushCtx(ctxSwitch, nil)
+	hasDefault := false
+	var out []*Node
+	// anchors[i] is the body entry of clause i, the fallthrough target
+	// of clause i-1.
+	var clauses []*ast.CaseClause
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	anchors := make([]*Node, len(clauses))
+	for i := range clauses {
+		anchors[i] = b.newNode(nil)
+	}
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+			b.link(head, anchors[i])
+		} else {
+			// Guard expressions evaluate in order; each may match
+			// (enter the body) or not. Conservatively: head -> g1 ->
+			// ... -> gn, every guard -> body anchor.
+			fr := []*Node{head}
+			for _, g := range cc.List {
+				gn := b.node(g, fr)
+				fr = []*Node{gn}
+				b.link(gn, anchors[i])
+			}
+		}
+		fr := []*Node{anchors[i]}
+		fellThrough := false
+		for j, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" && j == len(cc.Body)-1 {
+				n := b.node(br, fr)
+				if i+1 < len(anchors) {
+					b.link(n, anchors[i+1])
+				} else {
+					out = append(out, n)
+				}
+				fellThrough = true
+				fr = nil
+				break
+			}
+			fr = b.stmt(st, fr)
+		}
+		if !fellThrough {
+			out = append(out, fr...)
+		}
+	}
+	if !hasDefault {
+		out = append(out, head)
+	}
+	b.popCtx()
+	return append(out, c.breakOut...)
+}
+
+// isTerminalCall reports whether e is a call that never returns:
+// panic, os.Exit, runtime.Goexit, log.Fatal*. Purely syntactic (flow
+// has no type information by design), which is good enough for the
+// conservative analyses built on top.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

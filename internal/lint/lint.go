@@ -21,6 +21,20 @@
 //     (internal/wal, internal/bitcask, internal/replog) discards its
 //     error — a dropped fsync or append error silently un-durables an
 //     acknowledged write.
+//   - ackorder: on //ring:handler-annotated protocol handlers, no
+//     reply or ack emission is statically reachable before the
+//     quorum-bookkeeping and persist calls the handler owes — the
+//     paper's "acknowledge only after quorum and durability" rule as
+//     a dataflow property (internal/lint/flow).
+//   - lockguard: mutex-guarded fields (inferred by majority of
+//     accesses, or declared //ring:guardedby) are accessed under
+//     their mutex, and no blocking operation — durable-storage or
+//     network call, channel send/receive, select, sleep — runs while
+//     a sync.Mutex/RWMutex is held.
+//   - goroutinelife: goroutines spawned in non-test code have a
+//     shutdown path (CFG exit reachable: a return, break, or select
+//     exit case), and time.After/time.Tick never sit in a loop (the
+//     classic timer-leak shape).
 //
 // The suite is built directly on go/ast and go/types (no external
 // analysis framework: the module is dependency-free by policy), with
@@ -45,6 +59,19 @@
 //	                     tag with no message struct (TBatch)
 //	//ring:durableok     exempts one durable-storage call (line or
 //	                     enclosing function) from durablepath
+//	//ring:handler       marks a protocol handler as an ackorder root;
+//	                     optional args name the barrier classes owed
+//	                     ("quorum", "persist"; bare means both)
+//	//ring:ackok         exempts one reply/ack emission (same line)
+//	                     from ackorder — the ChaosUnsafeAck injection
+//	                     site is the canonical use
+//	//ring:guardedby     on a struct field: declares the sibling mutex
+//	                     field guarding it (overrides inference)
+//	//ring:lockok        exempts one access or blocking call (line or
+//	                     enclosing function) from lockguard
+//	//ring:goroutineok   exempts one goroutine spawn or timer-in-loop
+//	                     (line or enclosing function) from
+//	                     goroutinelife
 //
 // Every exemption is greppable: the directive is the audit trail.
 package lint
@@ -57,10 +84,14 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned in the analyzed source.
+// Diagnostic is one finding, positioned in the analyzed source. The
+// Message carries an "<analyzer>: " prefix for the human-readable
+// renderings; Analyzer holds the bare name for structured output
+// (ringlint -json).
 type Diagnostic struct {
-	Pos     token.Pos
-	Message string
+	Pos      token.Pos
+	Analyzer string
+	Message  string
 }
 
 // Analyzer is one named check run over a type-checked package.
@@ -80,8 +111,18 @@ type Pass struct {
 	// PkgPath is the import path the analyzers see. Fixture tests
 	// override it to impersonate restricted paths.
 	PkgPath string
+	// IgnoreDirectives disables honoring the named //ring: exemption
+	// directives — a test hook for asserting that an exempted finding
+	// would otherwise fire (e.g. the ChaosUnsafeAck //ring:ackok site).
+	IgnoreDirectives map[string]bool
 
 	report func(Diagnostic)
+}
+
+// directiveEnabled reports whether the named directive should be
+// honored in this pass (see IgnoreDirectives).
+func (p *Pass) directiveEnabled(name string) bool {
+	return !p.IgnoreDirectives[name]
 }
 
 // Reportf records a diagnostic at pos.
@@ -113,6 +154,9 @@ func Analyzers() []*Analyzer {
 		AtomicField,
 		WirePair,
 		DurablePath,
+		AckOrder,
+		LockGuard,
+		GoroutineLife,
 	}
 }
 
@@ -147,6 +191,25 @@ func matchDirective(comment, name string) bool {
 	// Exact name match: "ring:hotpath-stop" must not satisfy
 	// "hotpath". Anything after the name must be separated by space.
 	return text == "" || text[0] == ' ' || text[0] == '\t'
+}
+
+// directiveArgs returns the whitespace-separated tokens following a
+// //ring:<name> directive in g, and whether the directive is present.
+// Parsing of meaningful arguments (vs trailing justification prose) is
+// the caller's business.
+func directiveArgs(g *ast.CommentGroup, name string) ([]string, bool) {
+	if g == nil {
+		return nil, false
+	}
+	for _, c := range g.List {
+		if !matchDirective(c.Text, name) {
+			continue
+		}
+		text, _ := strings.CutPrefix(c.Text, "//")
+		text, _ = strings.CutPrefix(strings.TrimSpace(text), directivePrefix+name)
+		return strings.Fields(text), true
+	}
+	return nil, false
 }
 
 // lineDirective reports whether a //ring:<name> directive comment sits

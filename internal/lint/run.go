@@ -8,18 +8,27 @@ import (
 // RunAnalyzers runs the given analyzers over one loaded package and
 // returns their findings sorted by source position.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersIgnoring(pkg, analyzers, nil)
+}
+
+// RunAnalyzersIgnoring is RunAnalyzers with the named //ring:
+// exemption directives disabled — the test hook that asserts exempted
+// findings would otherwise fire.
+func RunAnalyzersIgnoring(pkg *Package, analyzers []*Analyzer, ignore map[string]bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Pkg,
-			Info:     pkg.Info,
-			PkgPath:  pkg.PkgPath,
+			Analyzer:         a,
+			Fset:             pkg.Fset,
+			Files:            pkg.Files,
+			Pkg:              pkg.Pkg,
+			Info:             pkg.Info,
+			PkgPath:          pkg.PkgPath,
+			IgnoreDirectives: ignore,
 		}
 		name := a.Name
 		pass.report = func(d Diagnostic) {
+			d.Analyzer = name
 			d.Message = name + ": " + d.Message
 			diags = append(diags, d)
 		}

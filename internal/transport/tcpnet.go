@@ -233,9 +233,13 @@ func (e *tcpEndpoint) transmit(to string, payload []byte) error {
 			return fmt.Errorf("%w: %s (%v)", ErrUnknownPeer, to, err)
 		}
 		e.mu.Lock()
+		var lost net.Conn
 		if old := e.conns[to]; old != nil {
-			// Lost the race; keep the existing connection.
-			nc.Close()
+			// Lost the race; keep the existing connection and close
+			// ours below, outside the lock — Close can block on the
+			// TCP stack and everything sending through this endpoint
+			// serializes on e.mu.
+			lost = nc
 			c = old
 		} else {
 			e.conns[to] = nc
@@ -245,6 +249,9 @@ func (e *tcpEndpoint) transmit(to string, payload []byte) error {
 			go e.readLoop(nc)
 		}
 		e.mu.Unlock()
+		if lost != nil {
+			lost.Close()
+		}
 	}
 	err := writeFrame(c, e.addr, payload)
 	if err == nil {
@@ -287,12 +294,19 @@ func (e *tcpEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		close(e.done)
 		e.ln.Close()
+		// Snapshot under the lock, close outside it: a Close stuck in
+		// the TCP stack must not wedge concurrent transmits (they all
+		// take e.mu to look up a connection).
 		e.mu.Lock()
+		conns := make([]net.Conn, 0, len(e.conns))
 		for _, c := range e.conns {
-			c.Close()
+			conns = append(conns, c)
 		}
 		e.conns = map[string]net.Conn{}
 		e.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 	})
 	return nil
 }
