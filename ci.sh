@@ -1,43 +1,56 @@
 #!/bin/sh
-# ci.sh — the checks a change must pass before merging:
+# ci.sh [stage] — the checks a change must pass before merging. With no
+# argument every stage runs sequentially (the local pre-push flow);
+# .github/workflows/ci.yml fans the stages out as three parallel jobs:
+#
+# lint — fast static gate:
 #   1. formatting: gofmt must be a no-op across the tree
-#   2. tier-1 gate: everything builds, every test passes
-#   3. go vet across the tree
-#   4. ringlint: the project-specific analyzers (internal/lint) over
+#   2. go vet across the tree
+#   3. ringlint: the project-specific analyzers (internal/lint) over
 #      the whole tree — hot-path allocation, sim determinism, sleepy
-#      tests, atomic-field discipline, wire-protocol pairing. Any
-#      finding fails the build; exemptions are //ring: directives in
-#      the source, where review can see them.
-#   5. external static analysis, version-pinned: staticcheck and
+#      tests, atomic-field discipline, wire-protocol pairing, ack
+#      ordering (quorum, persistence, and transition-journal barriers).
+#      Any finding fails the build; exemptions are //ring: directives
+#      in the source, where review can see them.
+#   4. external static analysis, version-pinned: staticcheck and
 #      govulncheck. Both run via `go run tool@version`, so they need
 #      module-proxy access; offline runs skip them with a warning
 #      while CI (which always has network) enforces them.
-#   6. fuzz smoke: each fuzz target runs for 10s — long enough to
-#      catch a round-trip regression, short enough for every push.
-#      FuzzWALReplay is the durability one: arbitrary bytes as a WAL
-#      segment must replay without panicking and re-replay identically.
-#   7. the concurrency-heavy packages under the race detector
+#
+# test — the tier-1 gate:
+#   5. everything builds, every test passes
+#   6. the concurrency-heavy packages under the race detector
 #      (the simulator-driven experiments are legitimately slow there,
 #      hence the generous timeout); the durable path — replog engine,
 #      core crash-recovery e2e, sim disk fault plane — rides in
 #      ./internal/... and so runs under -race here too
+#
+# chaos — fuzz, bench, and the chaos/BENCH canaries:
+#   7. fuzz smoke: each fuzz target runs for 10s — long enough to
+#      catch a round-trip regression, short enough for every push.
+#      FuzzWALReplay is the durability one: arbitrary bytes as a WAL
+#      segment must replay without panicking and re-replay identically.
 #   8. bench smoke: every benchmark compiles and runs one iteration,
 #      output saved to bench.txt (uploaded as a CI artifact)
 #   9. chaos smoke: three fixed ringchaos seeds through the full
 #      seed -> schedule -> workload -> linearizability-check pipeline,
-#      plus three -durable seeds over the disk fault plane (kill -9 +
-#      recover-from-disk, WAL corruption, fsync faults), hard-bounded
-#      at 30s each. The deep seed sweeps run nightly
+#      three -durable seeds over the disk fault plane (kill -9 +
+#      recover-from-disk, WAL corruption, fsync faults), and three
+#      -elasticity seeds mixing live scheme conversions and join/leave
+#      resizes into the fault schedule, hard-bounded at 30s each. The
+#      deep seed sweeps run nightly
 #      (.github/workflows/nightly-chaos.yml); this is the per-push
 #      canary that the chaos harness itself still works.
 #  10. BENCH trajectory: scripts/cluster.sh boots a real 5-process
 #      cluster over TCP, drives it with cmd/ringload (GF kernels +
-#      closed-loop rep3 and srs3.2), then re-runs the suite on durable
-#      clusters (DURABLE=1: -data-dir with fsync=always and
-#      fsync=interval — the durability-tax rows), writes BENCH_7.json,
-#      and fails on a >10% ops/sec or GB/s regression against the
-#      newest committed BENCH_*.json (a no-op while the trajectory has
-#      no earlier point). The file is uploaded as a CI artifact.
+#      closed-loop rep3 and srs3.2, plus the rep3+bulkconv elasticity
+#      row: the same workload measured during a continuous background
+#      bulk conversion), then re-runs the suite on durable clusters
+#      (DURABLE=1: -data-dir with fsync=always and fsync=interval —
+#      the durability-tax rows), writes BENCH_10.json, and fails on a
+#      >10% ops/sec or GB/s regression against the newest committed
+#      BENCH_*.json (a no-op for rows the trajectory has no earlier
+#      point for). The file is uploaded as a CI artifact.
 set -ex
 
 # Version pins for the external analyzers. CI caches on these; bump
@@ -45,34 +58,58 @@ set -ex
 STATICCHECK_VERSION=2024.1.1
 GOVULNCHECK_VERSION=v1.1.3
 
-test -z "$(gofmt -l .)"
-go build ./...
-go test ./...
-go vet ./...
+stage_lint() {
+    test -z "$(gofmt -l .)"
+    go vet ./...
 
-go build -o bin/ringlint ./cmd/ringlint
-./bin/ringlint ./...
+    go build -o bin/ringlint ./cmd/ringlint
+    ./bin/ringlint ./...
 
-# External analyzers: enforced whenever the module proxy is reachable
-# (always true in CI), skipped with a loud warning when offline.
-if go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" -version >/dev/null 2>&1; then
-    go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
-    go run "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
-else
-    echo "WARNING: module proxy unreachable; skipping staticcheck + govulncheck (CI enforces them)" >&2
-fi
+    # External analyzers: enforced whenever the module proxy is
+    # reachable (always true in CI), skipped with a loud warning when
+    # offline.
+    if go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" -version >/dev/null 2>&1; then
+        go run "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION}" ./...
+        go run "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION}" ./...
+    else
+        echo "WARNING: module proxy unreachable; skipping staticcheck + govulncheck (CI enforces them)" >&2
+    fi
+}
 
-go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
-go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
-go test -run=NONE -fuzz=FuzzGFKernels -fuzztime=10s ./internal/gf/
-go test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal/
-go test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=10s ./internal/lint/flow/
+stage_test() {
+    go build ./...
+    go test ./...
+    go test -race -timeout 900s ./internal/...
+}
 
-go test -race -timeout 900s ./internal/...
-go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
+stage_chaos() {
+    go test -run=NONE -fuzz=FuzzWireRoundTrip -fuzztime=10s ./internal/proto/
+    go test -run=NONE -fuzz=FuzzSRSRoundTrip -fuzztime=10s ./internal/srs/
+    go test -run=NONE -fuzz=FuzzGFKernels -fuzztime=10s ./internal/gf/
+    go test -run=NONE -fuzz=FuzzWALReplay -fuzztime=10s ./internal/wal/
+    go test -run=NONE -fuzz=FuzzCFGBuild -fuzztime=10s ./internal/lint/flow/
 
-go build -o bin/ringchaos ./cmd/ringchaos
-timeout 30 ./bin/ringchaos -seeds 1:3 -v
-timeout 30 ./bin/ringchaos -durable -seeds 1:3 -v
+    go test -run=NONE -bench=. -benchtime=1x ./... | tee bench.txt
 
-DURABLE=1 BENCH_OUT=BENCH_7.json PREV_DIR=. DURATION=3s timeout 300 scripts/cluster.sh
+    go build -o bin/ringchaos ./cmd/ringchaos
+    timeout 30 ./bin/ringchaos -seeds 1:3 -v
+    timeout 30 ./bin/ringchaos -durable -seeds 1:3 -v
+    timeout 30 ./bin/ringchaos -elasticity -seeds 1:3 -v
+
+    DURABLE=1 BENCH_OUT=BENCH_10.json ISSUE=10 PREV_DIR=. DURATION=3s timeout 300 scripts/cluster.sh
+}
+
+case "${1:-all}" in
+lint) stage_lint ;;
+test) stage_test ;;
+chaos) stage_chaos ;;
+all)
+    stage_lint
+    stage_test
+    stage_chaos
+    ;;
+*)
+    echo "usage: ci.sh [lint|test|chaos]" >&2
+    exit 2
+    ;;
+esac

@@ -17,6 +17,13 @@
 //	                                   disk fault plane (kill -9 +
 //	                                   recover-from-disk, WAL corruption,
 //	                                   fsync faults)
+//	ringchaos -elasticity -seeds 1:8   elasticity schedules: live scheme
+//	                                   conversions and join/leave resizes
+//	                                   blended into the fault mix
+//	ringchaos -elasticity -convbug -seed 5
+//	                                   inject the ack-before-journal
+//	                                   transition bug (the checker must
+//	                                   catch it)
 //	ringchaos -seeds 1:20 -shrink=false -v
 //	ringchaos -seeds 1:500 -dump out/    write failure artifacts to out/
 //
@@ -53,7 +60,9 @@ func run(args []string, out, errw io.Writer) int {
 	seeds := fs.String("seeds", "", "inclusive seed range lo:hi (overrides -seed)")
 	schedule := fs.String("schedule", "", "explicit nemesis schedule (overrides the generated one)")
 	bug := fs.Bool("bug", false, "inject the ack-before-quorum bug (validates the checker)")
+	convbug := fs.Bool("convbug", false, "inject the ack-before-journal transition bug (validates the checker)")
 	durable := fs.Bool("durable", false, "disk fault plane: durable nodes, crash-recovery schedules")
+	elasticity := fs.Bool("elasticity", false, "elasticity schedules: live conversions and join/leave resizes in the fault mix")
 	shrink := fs.Bool("shrink", true, "greedily shrink failing schedules")
 	active := fs.Duration("active", 0, "nemesis window in virtual time (default 40ms)")
 	budget := fs.Int("budget", 0, "linearizability search budget per key (default 2e6 states)")
@@ -87,19 +96,21 @@ func run(args []string, out, errw io.Writer) int {
 	start := time.Now()
 	for s := lo; s <= hi; s++ {
 		spec := sim.ChaosRunSpec{
-			Seed:        s,
-			Schedule:    explicit,
-			UnsafeAck:   *bug,
-			Durable:     *durable,
-			Active:      *active,
-			CheckBudget: *budget,
+			Seed:          s,
+			Schedule:      explicit,
+			UnsafeAck:     *bug,
+			UnsafeConvert: *convbug,
+			Durable:       *durable,
+			Elasticity:    *elasticity,
+			Active:        *active,
+			CheckBudget:   *budget,
 		}
 		r := sim.RunChaos(spec)
 		switch r.Check.Verdict {
 		case linearize.Linearizable:
 			if *verbose {
-				fmt.Fprintf(out, "seed %d: ok (%d ops, %d abandoned, faults %+v)\n",
-					s, len(r.History), r.Abandoned, r.Faults)
+				fmt.Fprintf(out, "seed %d: ok (%d ops, %d abandoned, %d converts/resizes acked, faults %+v)\n",
+					s, len(r.History), r.Abandoned, r.ElasticAcked, r.Faults)
 			}
 		case linearize.Exhausted:
 			// Not a verdict either way; report so the budget can be raised.
@@ -113,8 +124,14 @@ func run(args []string, out, errw io.Writer) int {
 			if *bug {
 				repro += " -bug"
 			}
+			if *convbug {
+				repro += " -convbug"
+			}
 			if *durable {
 				repro += " -durable"
+			}
+			if *elasticity {
+				repro += " -elasticity"
 			}
 			if explicit != nil {
 				repro += fmt.Sprintf(" -schedule '%s'", explicit)

@@ -6,6 +6,10 @@
 //	ringctl -nodes host0:7000 get mykey
 //	ringctl -nodes host0:7000 move mykey 2
 //	ringctl -nodes host0:7000 delete mykey
+//	ringctl -nodes host0:7000 convert mykey srs3.2
+//	ringctl -nodes host0:7000 convert-prefix user/ 4
+//	ringctl -nodes host0:7000 join 7
+//	ringctl -nodes host0:7000 leave 3
 //	ringctl -nodes host0:7000 mkmemgest srs3.2
 //	ringctl -nodes host0:7000 rmmemgest 4
 //	ringctl -nodes host0:7000 set-default 2
@@ -34,7 +38,8 @@ import (
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ringctl -nodes addr[,addr...] <command> [args]")
-	fmt.Fprintln(os.Stderr, "commands: put, put-in, get, delete, move, mkmemgest, rmmemgest, set-default, describe, config, stats")
+	fmt.Fprintln(os.Stderr, "commands: put, put-in, get, delete, move, convert, convert-prefix, join, leave, mkmemgest, rmmemgest, set-default, describe, config, stats")
+	fmt.Fprintln(os.Stderr, "convert/convert-prefix take a destination memgest ID or scheme token (rep3, srs3.2)")
 	fmt.Fprintln(os.Stderr, "stats scrapes the -http addresses (ringd -http endpoints), not -nodes")
 	os.Exit(2)
 }
@@ -89,6 +94,25 @@ func main() {
 		die(err)
 		return proto.MemgestID(v)
 	}
+	// resolveMg accepts a numeric memgest ID or a scheme token (rep3,
+	// srs3.2) resolved against the live configuration — so `convert`
+	// can be phrased by scheme, matching how operators think.
+	resolveMg := func(s string) proto.MemgestID {
+		if v, err := strconv.ParseUint(s, 10, 32); err == nil {
+			return proto.MemgestID(v)
+		}
+		sc, err := parseScheme(s)
+		die(err)
+		cfg := c.Config()
+		sc.S = cfg.Shards()
+		for _, m := range cfg.Memgests {
+			if m.Scheme == sc {
+				return m.ID
+			}
+		}
+		die(fmt.Errorf("no memgest with scheme %v (create one with mkmemgest)", sc))
+		return 0
+	}
 
 	switch args[0] {
 	case "put":
@@ -115,6 +139,45 @@ func main() {
 		ver, err := c.Move(args[1], parseMg(args[2]))
 		die(err)
 		fmt.Printf("OK version=%d\n", ver)
+	case "convert":
+		// convert <key> <to> [<from>]: re-encode one key's scheme.
+		if len(args) != 3 && len(args) != 4 {
+			usage()
+		}
+		var from proto.MemgestID
+		if len(args) == 4 {
+			from = resolveMg(args[3])
+		}
+		ver, err := c.Convert(args[1], from, resolveMg(args[2]))
+		die(err)
+		fmt.Printf("OK version=%d\n", ver)
+	case "convert-prefix":
+		// convert-prefix <prefix> <to> [<from>]: bulk conversion across
+		// every coordinator.
+		if len(args) != 3 && len(args) != 4 {
+			usage()
+		}
+		var from proto.MemgestID
+		if len(args) == 4 {
+			from = resolveMg(args[3])
+		}
+		count, err := c.ConvertPrefix(args[1], from, resolveMg(args[2]))
+		die(err)
+		fmt.Printf("OK converted=%d\n", count)
+	case "join":
+		need(1)
+		id, err := strconv.ParseUint(args[1], 10, 32)
+		die(err)
+		epoch, err := c.ResizeJoin(proto.NodeID(id))
+		die(err)
+		fmt.Printf("OK epoch=%d\n", epoch)
+	case "leave":
+		need(1)
+		id, err := strconv.ParseUint(args[1], 10, 32)
+		die(err)
+		moved, epoch, err := c.ResizeLeave(proto.NodeID(id))
+		die(err)
+		fmt.Printf("OK moved=%d epoch=%d\n", moved, epoch)
 	case "mkmemgest":
 		need(1)
 		sc, err := parseScheme(args[1])

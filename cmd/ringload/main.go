@@ -25,6 +25,12 @@
 // against the replicated and erasure-coded memgests, writes
 // BENCH_<issue>.json, and — when a previous BENCH_*.json exists in
 // -prev-dir — fails (exit 1) on any >-tolerance regression.
+//
+// -convert adds the elasticity row: the same closed-loop workload
+// measured while a background bulk conversion continuously re-encodes
+// the whole key space back and forth between the replicated and the
+// erasure-coded memgest — the cost of live scheme transitions under
+// load, reported as scheme "<rep-scheme>+bulkconv".
 package main
 
 import (
@@ -71,6 +77,7 @@ type config struct {
 	preload   bool
 	scheme    string
 	suite     bool
+	convert   bool
 	repMG     int
 	srsMG     int
 	repScheme string
@@ -107,6 +114,7 @@ func main() {
 	flag.BoolVar(&c.preload, "preload", true, "write the whole key space once before measuring")
 	flag.StringVar(&c.scheme, "scheme", "", "scheme label for reports (default memgest<id>)")
 	flag.BoolVar(&c.suite, "suite", false, "BENCH suite: measure GF kernels plus closed-loop runs on the rep and srs memgests")
+	flag.BoolVar(&c.convert, "convert", false, "add the convert-under-load row: closed-loop ops on -rep-memgest while a background bulk conversion churns the key space between the rep and srs memgests")
 	flag.IntVar(&c.repMG, "rep-memgest", 1, "suite: replicated memgest ID")
 	flag.IntVar(&c.srsMG, "srs-memgest", 2, "suite: erasure-coded memgest ID")
 	flag.StringVar(&c.repScheme, "rep-scheme", "rep3", "suite: scheme label of -rep-memgest")
@@ -165,6 +173,15 @@ func run(c config) error {
 			result.Cluster = append(result.Cluster, row)
 			fmt.Printf("== %s/%s ==\n%d ops in %s: %.0f ops/sec, p50 %.0fus p99 %.0fus p99.9 %.0fus\n",
 				row.Scheme, row.Mode, row.Ops, c.duration, row.OpsPerSec, row.P50us, row.P99us, row.P999us)
+		}
+		if c.convert {
+			row, churned, err := measureConvert(c, clients)
+			if err != nil {
+				return err
+			}
+			result.Cluster = append(result.Cluster, row)
+			fmt.Printf("== %s/%s ==\n%d ops in %s: %.0f ops/sec, p50 %.0fus p99 %.0fus p99.9 %.0fus (%d keys bulk-converted behind the workload)\n",
+				row.Scheme, row.Mode, row.Ops, c.duration, row.OpsPerSec, row.P50us, row.P99us, row.P999us, churned)
 		}
 	} else if !c.suite {
 		return fmt.Errorf("nothing to do: need -nodes and/or -suite")
@@ -374,6 +391,43 @@ func measure(c config, clients []*client.Client, mg proto.MemgestID, scheme stri
 		P99us:      quantileUS(lats, 0.99),
 		P999us:     quantileUS(lats, 0.999),
 	}, nil
+}
+
+// measureConvert is the elasticity row: the closed-loop workload on
+// the replicated memgest measured while background goroutines
+// continuously bulk-convert the whole key space back and forth between
+// the rep and srs memgests. The row keys the trajectory as
+// "<rep-scheme>+bulkconv", so the gate compares conversion-under-load
+// throughput run over run. Returns the row and the total keys the
+// background churn converted.
+func measureConvert(c config, clients []*client.Client) (benchjson.Cluster, uint64, error) {
+	var (
+		stop    atomic.Bool
+		churned atomic.Uint64
+		wg      sync.WaitGroup
+	)
+	dsts := [2]proto.MemgestID{proto.MemgestID(c.srsMG), proto.MemgestID(c.repMG)}
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *client.Client) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				n, err := cl.ConvertPrefix("", 0, dsts[i%2])
+				churned.Add(uint64(n))
+				if err != nil {
+					// The churn races the foreground puts (a key can change
+					// memgest between the scan and its convert); transient
+					// failures are part of the contention being measured,
+					// not a failure of the run.
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+		}(cl)
+	}
+	row, err := measure(c, clients, proto.MemgestID(c.repMG), c.repScheme+"+bulkconv")
+	stop.Store(true)
+	wg.Wait()
+	return row, churned.Load(), err
 }
 
 // preloadKeys writes every key the plan touches once, so gets during

@@ -143,6 +143,10 @@ func requestID(m proto.Message) (proto.ReqID, bool) {
 		return r.Req, true
 	case *proto.ResolveReply:
 		return r.Req, true
+	case *proto.ConvertReply:
+		return r.Req, true
+	case *proto.ResizeReply:
+		return r.Req, true
 	}
 	return 0, false
 }

@@ -72,6 +72,9 @@ func (n *Node) handlePut(from string, m *proto.Put) {
 	if !ok {
 		return
 	}
+	if n.parkOnConvert(shard, m.Key, from, m) {
+		return
+	}
 	mi := n.resolveMemgest(m.Memgest)
 	if mi == nil {
 		fail(proto.StNoMemgest)
@@ -90,6 +93,9 @@ func (n *Node) handleDelete(from string, m *proto.Delete) {
 	if !ok {
 		return
 	}
+	if n.parkOnConvert(shard, m.Key, from, m) {
+		return
+	}
 	// A delete is a tombstone put into the memgest currently holding
 	// the key's highest version (metadata suffices; no value). A key
 	// whose newest version is already a tombstone is absent.
@@ -106,17 +112,20 @@ func (n *Node) handleDelete(from string, m *proto.Delete) {
 }
 
 // doWrite runs the write-ahead, replicate, commit pipeline shared by
-// put, delete (tombstone), and the local half of move.
-func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard uint32, key string, value []byte, mgID proto.MemgestID, tombstone bool) {
+// put, delete (tombstone), and the local half of move and convert. It
+// reports whether the write was actually launched (false means an
+// error reply was already sent) so the convert path can close its
+// journal window on a synchronous failure.
+func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard uint32, key string, value []byte, mgID proto.MemgestID, tombstone bool) bool {
 	st := n.mgFor(mgID)
 	if st == nil {
 		n.replyStatus(replyTo, req, kind, proto.StNoMemgest, 0)
-		return
+		return false
 	}
 	cs := st.coord[shard]
 	if cs == nil {
 		n.replyStatus(replyTo, req, kind, proto.StWrongNode, 0)
-		return
+		return false
 	}
 	// Count the op against its memgest only now, with routing and
 	// memgest resolution behind us: these counters promise to match an
@@ -128,6 +137,8 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 		st.met.Deletes.Inc()
 	case replyMove:
 		st.met.Moves.Inc()
+	case replyConvert:
+		st.met.Converts.Inc()
 	}
 	vol := n.volFor(shard)
 	var ver proto.Version = 1
@@ -154,7 +165,7 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 			ext, err := cs.heap.Alloc(len(value))
 			if err != nil {
 				n.replyStatus(replyTo, req, kind, proto.StUnavailable, 0)
-				return
+				return false
 			}
 			cs.heap.Write(ext, value)
 			e.Ext = ext
@@ -167,7 +178,7 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 		vol.Add(key, ver, mgID)
 		n.persistAppend(st, shard, e)
 		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now) //ring:ackok deliberate ack-before-quorum chaos injection
-		return
+		return true
 	}
 
 	// The quorum size is decided up front, before any redundancy
@@ -182,14 +193,14 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 			ext, err := cs.heap.Alloc(len(value))
 			if err != nil {
 				n.replyStatus(replyTo, req, kind, proto.StUnavailable, 0)
-				return
+				return false
 			}
 			if !cs.blockOK[ext.Block] {
 				// The target block has not been re-decoded yet after a
 				// failover; writing would corrupt parity deltas.
 				cs.heap.Free(ext)
 				n.replyStatus(replyTo, req, kind, proto.StRetry, 0)
-				return
+				return false
 			}
 			delta := cs.heap.Write(ext, value)
 			n.Stats.BytesWritten += uint64(len(value))
@@ -239,10 +250,11 @@ func (n *Node) doWrite(replyTo string, req proto.ReqID, kind replyKind, shard ui
 	if need == 0 {
 		// Unreliable memgests commit immediately (Rep(1,s)).
 		n.commitEntry(st, cs, key, ver, replyTo, req, kind, n.now)
-		return
+		return true
 	}
 	cs.tracker.Open(seq, need)
 	cs.pending[seq] = &pendingCommit{key: key, version: ver, start: n.now, replyTo: replyTo, req: req, kind: kind}
+	return true
 }
 
 // replyStatus sends the error reply appropriate for a write kind.
@@ -254,6 +266,12 @@ func (n *Node) replyStatus(replyTo string, req proto.ReqID, kind replyKind, s pr
 		n.send(replyTo, &proto.DeleteReply{Req: req, Status: s})
 	case replyMove:
 		n.send(replyTo, &proto.MoveReply{Req: req, Status: s, Version: ver})
+	case replyConvert:
+		if id, ok := strings.CutPrefix(replyTo, bulkConvPrefix); ok {
+			n.bulkConvertDone(id, s)
+			return
+		}
+		n.send(replyTo, &proto.ConvertReply{Req: req, Status: s, Version: ver})
 	}
 }
 
@@ -277,6 +295,13 @@ func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Ve
 	if op := kind.traceOp(); op != metrics.TraceNone {
 		n.Metrics.Trace.Record(op, key, uint32(st.info.ID), uint64(ver), uint8(proto.StOK), n.now, n.now-start)
 	}
+	if kind == replyConvert {
+		// Transition journal: the conversion's close record must be
+		// ordered before the ack escapes (the ackorder journal barrier) —
+		// a crash after the ack must replay to the new scheme, never the
+		// old one.
+		n.persistConvertEnd(st.info.ID, cs.shard, key, ver, e.Seq)
+	}
 	n.replyStatus(replyTo, req, kind, proto.StOK, ver)
 
 	// Answer gets parked on this entry (Figure 5: replies are released
@@ -294,9 +319,23 @@ func (n *Node) commitEntry(st *mgState, cs *coordShard, key string, ver proto.Ve
 	// GC versions superseded by the newest committed one.
 	n.gcKey(cs.shard, key)
 
-	// Parked moves proceed now that the source version is durable.
+	// A committed conversion closes its transition window, replaying
+	// any client writes parked on it.
+	if kind == replyConvert {
+		ck := convKey{shard: cs.shard, key: key}
+		if cv := n.converting[ck]; cv != nil && cv.newVer == ver {
+			n.finishConvert(ck, cv)
+		}
+	}
+
+	// Parked moves proceed now that the source version is durable;
+	// parked converts go through the journaled transition path.
 	for _, mw := range moves {
-		n.performMove(mw.Client, mw.Req, cs.shard, key, mw.Dst)
+		if mw.Convert {
+			n.performConvert(mw.Client, mw.Req, cs.shard, key, mw.Dst)
+		} else {
+			n.performMove(mw.Client, mw.Req, cs.shard, key, mw.Dst)
+		}
 	}
 }
 
@@ -504,6 +543,9 @@ func (n *Node) handleMove(from string, m *proto.Move) {
 	fail := func(s proto.Status) { n.send(from, &proto.MoveReply{Req: m.Req, Status: s}) }
 	shard, ok := n.checkClientOp(m.Key, fail)
 	if !ok {
+		return
+	}
+	if n.parkOnConvert(shard, m.Key, from, m) {
 		return
 	}
 	if n.cfg.Memgest(m.Memgest) == nil {

@@ -18,6 +18,7 @@ func (n *Node) handleTick() {
 		n.followerTick()
 	}
 	n.recoveryTick()
+	n.convertTick()
 }
 
 // leaderTick sends heartbeats and checks follower liveness.
@@ -27,6 +28,12 @@ func (n *Node) leaderTick() {
 			continue
 		}
 		n.sendNode(id, &proto.Heartbeat{Epoch: n.cfg.Epoch})
+	}
+	if n.pendingResize != nil {
+		// A leave fence is in flight; it owns reconfiguration until it
+		// completes (failure detection would race it to the same epoch).
+		n.resizeTick()
+		return
 	}
 	// Failure detection: promote a spare for the first node that went
 	// silent (one reconfiguration at a time keeps reasoning simple).
@@ -165,6 +172,10 @@ func (n *Node) handleCreateMemgest(from string, m *proto.CreateMemgest) {
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StWrongNode})
 		return
 	}
+	if n.pendingResize != nil {
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+		return
+	}
 	sc := m.Scheme
 	reject := func() {
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StInvalid})
@@ -213,6 +224,10 @@ func (n *Node) handleDeleteMemgest(from string, m *proto.DeleteMemgest) {
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StWrongNode})
 		return
 	}
+	if n.pendingResize != nil {
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
+		return
+	}
 	if n.cfg.Memgest(m.Memgest) == nil {
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StNoMemgest})
 		return
@@ -240,6 +255,10 @@ func (n *Node) handleDeleteMemgest(from string, m *proto.DeleteMemgest) {
 func (n *Node) handleSetDefault(from string, m *proto.SetDefault) {
 	if !n.IsLeader() {
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StWrongNode})
+		return
+	}
+	if n.pendingResize != nil {
+		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
 		return
 	}
 	if n.cfg.Memgest(m.Memgest) == nil {

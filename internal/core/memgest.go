@@ -84,6 +84,7 @@ const (
 	replyPut
 	replyDelete
 	replyMove
+	replyConvert
 )
 
 // traceOp maps a reply kind to its trace classification; internal
@@ -96,6 +97,8 @@ func (k replyKind) traceOp() metrics.TraceOp {
 		return metrics.TraceDelete
 	case replyMove:
 		return metrics.TraceMove
+	case replyConvert:
+		return metrics.TraceConvert
 	}
 	return metrics.TraceNone
 }
@@ -337,6 +340,12 @@ func (n *Node) installConfig(cfg *proto.Config, bootstrap bool) {
 	if n.durStash != nil && !n.rejoining {
 		n.resetUnconsumedStash()
 	}
+	// A pending leave fence is void if another configuration overtook
+	// it; open scheme-transition windows were planned against the
+	// previous configuration — abort and relaunch any the change
+	// invalidated.
+	n.abandonResize(cfg)
+	n.replanConverts()
 }
 
 // ownedShards returns the shards this node currently coordinates.

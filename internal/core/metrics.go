@@ -10,11 +10,12 @@ import (
 // resolution succeed — a scripted workload of N puts therefore shows
 // exactly N here, never N plus redirects.
 type MemgestMetrics struct {
-	Puts    metrics.Counter
-	Gets    metrics.Counter
-	Deletes metrics.Counter
-	Moves   metrics.Counter
-	Commits metrics.Counter
+	Puts     metrics.Counter
+	Gets     metrics.Counter
+	Deletes  metrics.Counter
+	Moves    metrics.Counter
+	Converts metrics.Counter
+	Commits  metrics.Counter
 }
 
 // NodeMetrics is a node's always-on instrumentation. Counters and
@@ -43,6 +44,19 @@ type NodeMetrics struct {
 	// RecoveryBacklog is the current background recovery queue depth
 	// (queued + in flight); it drains to zero as a failover heals.
 	RecoveryBacklog metrics.Gauge
+	// ShardsMoved counts placement slots the leader actually reassigned
+	// across resizes — the minimal-movement metric the elasticity tests
+	// assert on (a join moves zero; a leave moves only the departing
+	// node's slots).
+	ShardsMoved metrics.Counter
+	// ConvertsReplanned counts transition windows aborted and relaunched
+	// because a configuration change invalidated their in-flight
+	// destination write.
+	ConvertsReplanned metrics.Counter
+	// ConvertsAborted counts transition windows the timeout closed
+	// because their destination write lost an append or ack to the
+	// network (the caller retries the conversion).
+	ConvertsAborted metrics.Counter
 
 	// Trace is the per-op trace ring (runner-lock discipline).
 	Trace *metrics.TraceRing
@@ -72,11 +86,12 @@ func (m *NodeMetrics) mgMetrics(id proto.MemgestID) *MemgestMetrics {
 
 // MemgestOpCounts is the JSON-ready copy of one memgest's counters.
 type MemgestOpCounts struct {
-	Puts    uint64 `json:"puts"`
-	Gets    uint64 `json:"gets"`
-	Deletes uint64 `json:"deletes"`
-	Moves   uint64 `json:"moves"`
-	Commits uint64 `json:"commits"`
+	Puts     uint64 `json:"puts"`
+	Gets     uint64 `json:"gets"`
+	Deletes  uint64 `json:"deletes"`
+	Moves    uint64 `json:"moves"`
+	Converts uint64 `json:"converts"`
+	Commits  uint64 `json:"commits"`
 }
 
 // Add accumulates another count set (for cluster-wide aggregation).
@@ -85,6 +100,7 @@ func (c *MemgestOpCounts) Add(o MemgestOpCounts) {
 	c.Gets += o.Gets
 	c.Deletes += o.Deletes
 	c.Moves += o.Moves
+	c.Converts += o.Converts
 	c.Commits += o.Commits
 }
 
@@ -97,6 +113,9 @@ type MetricsSnapshot struct {
 	PacketsOut      uint64                              `json:"packets_out"`
 	InboxHighWater  int64                               `json:"inbox_high_water"`
 	RecoveryBacklog int64                               `json:"recovery_backlog"`
+	ShardsMoved     uint64                              `json:"shards_moved"`
+	ConvertsRepl    uint64                              `json:"converts_replanned"`
+	ConvertsAborted uint64                              `json:"converts_aborted"`
 	CommitRep       metrics.HistSnapshot                `json:"commit_latency_rep"`
 	CommitSRS       metrics.HistSnapshot                `json:"commit_latency_srs"`
 	Stats           Stats                               `json:"stats"`
@@ -116,6 +135,9 @@ func (n *Node) MetricsSnapshot() MetricsSnapshot {
 		PacketsOut:      m.PacketsOut.Load(),
 		InboxHighWater:  m.InboxHighWater.Load(),
 		RecoveryBacklog: m.RecoveryBacklog.Load(),
+		ShardsMoved:     m.ShardsMoved.Load(),
+		ConvertsRepl:    m.ConvertsReplanned.Load(),
+		ConvertsAborted: m.ConvertsAborted.Load(),
 		CommitRep:       m.CommitRep.Snapshot(),
 		CommitSRS:       m.CommitSRS.Snapshot(),
 		Stats:           n.Stats,
@@ -124,11 +146,12 @@ func (n *Node) MetricsSnapshot() MetricsSnapshot {
 	}
 	for id, mm := range m.mg {
 		s.Memgests[id] = MemgestOpCounts{
-			Puts:    mm.Puts.Load(),
-			Gets:    mm.Gets.Load(),
-			Deletes: mm.Deletes.Load(),
-			Moves:   mm.Moves.Load(),
-			Commits: mm.Commits.Load(),
+			Puts:     mm.Puts.Load(),
+			Gets:     mm.Gets.Load(),
+			Deletes:  mm.Deletes.Load(),
+			Moves:    mm.Moves.Load(),
+			Converts: mm.Converts.Load(),
+			Commits:  mm.Commits.Load(),
 		}
 	}
 	return s

@@ -65,6 +65,13 @@ type Options struct {
 	// must catch the lost updates this produces under faults. Never
 	// set it outside that test path.
 	ChaosUnsafeAck bool
+	// ChaosUnsafeConvert deliberately acknowledges scheme transitions
+	// before the transition journal record is written and purges the
+	// source version before the destination write is durable. It exists
+	// ONLY to validate the elasticity chaos lane (cmd/ringchaos
+	// -convbug): a coordinator crash in the window silently loses the
+	// key, which the checker must flag. Never set it outside that path.
+	ChaosUnsafeConvert bool
 	// SyncReplication switches Rep memgests from quorum commits
 	// (majority of r) to fully synchronous commits (all r copies), the
 	// alternative discussed in Section 3.1: r-1 failures tolerated for
@@ -133,6 +140,20 @@ type Node struct {
 	bgInflight int
 	bgTasks0   map[proto.ReqID]bgTask
 
+	// converting tracks the open scheme-transition windows of shards
+	// this node coordinates: client writes to a converting key park here
+	// and replay when the window closes (commit or abort).
+	converting map[convKey]*convState
+	// bulkConverts aggregates in-flight prefix conversions; nextBulkID
+	// names them (node-local, never crosses the wire).
+	bulkConverts map[string]*bulkConvert
+	nextBulkID   uint64
+	// pendingResize is the leader's in-flight leave fence (one at a
+	// time): the new configuration is pushed to the departing node
+	// first, and announced cluster-wide only once that node acked it
+	// (or went silent past FailAfter).
+	pendingResize *resizeState
+
 	// serving is false while metadata recovery is in progress; client
 	// requests are answered with StRetry until it completes.
 	serving bool
@@ -166,6 +187,7 @@ type Node struct {
 // Stats counts node activity.
 type Stats struct {
 	Puts, Gets, Deletes, Moves   uint64
+	Converts                     uint64
 	Commits, ParkedGets          uint64
 	ParityUpdates, RepAppends    uint64
 	BlocksRecovered, MetaRecovs  uint64
@@ -241,6 +263,8 @@ func New(id proto.NodeID, cfg *proto.Config, opts Options) *Node {
 		dataRecs:       make(map[proto.ReqID]*dataRecovery),
 		parityRebuilds: make(map[proto.ReqID]*parityRebuild),
 		bgTasks0:       make(map[proto.ReqID]bgTask),
+		converting:     make(map[convKey]*convState),
+		bulkConverts:   make(map[string]*bulkConvert),
 		serving:        true,
 		nextReq:        1,
 		nextMgID:       1,
@@ -303,6 +327,10 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 		n.handleDelete(from, m)
 	case *proto.Move:
 		n.handleMove(from, m)
+	case *proto.Convert:
+		n.handleConvert(from, m)
+	case *proto.Resize:
+		n.handleResize(from, m)
 	case *proto.CreateMemgest:
 		n.handleCreateMemgest(from, m)
 	case *proto.DeleteMemgest:
@@ -334,7 +362,7 @@ func (n *Node) HandleMessage(now time.Duration, from string, msg proto.Message) 
 	case *proto.ConfigPush:
 		n.handleConfigPush(from, m)
 	case *proto.ConfigAck:
-		// Informational only in this implementation.
+		n.handleConfigAck(from, m)
 	case *proto.Join:
 		n.handleJoin(from, m)
 	// Recovery.

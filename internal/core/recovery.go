@@ -667,6 +667,10 @@ func (n *Node) releaseWaiter(st *mgState, cs *coordShard, w blockWaiter) {
 		n.performMove(w.client, w.req, cs.shard, w.key, w.dst)
 		return
 	}
+	if w.kind == replyConvert {
+		n.performConvert(w.client, w.req, cs.shard, w.key, w.dst)
+		return
+	}
 	e := cs.meta.Get(w.key, w.version)
 	if e == nil {
 		n.send(w.client, &proto.GetReply{Req: w.req, Status: proto.StNotFound})

@@ -37,6 +37,8 @@ func NewRejoining(id proto.NodeID, cfg *proto.Config, opts Options) *Node {
 		dataRecs:       make(map[proto.ReqID]*dataRecovery),
 		parityRebuilds: make(map[proto.ReqID]*parityRebuild),
 		bgTasks0:       make(map[proto.ReqID]bgTask),
+		converting:     make(map[convKey]*convState),
+		bulkConverts:   make(map[string]*bulkConvert),
 		rejoining:      true,
 		nextReq:        1,
 		nextMgID:       1,
@@ -72,6 +74,10 @@ func (n *Node) handleRejoining(from string, msg proto.Message) {
 		n.send(from, &proto.DeleteReply{Req: m.Req, Status: proto.StRetry})
 	case *proto.Move:
 		n.send(from, &proto.MoveReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.Convert:
+		n.send(from, &proto.ConvertReply{Req: m.Req, Status: proto.StRetry})
+	case *proto.Resize:
+		n.send(from, &proto.ResizeReply{Req: m.Req, Status: proto.StRetry})
 	case *proto.CreateMemgest:
 		n.send(from, &proto.MemgestReply{Req: m.Req, Status: proto.StRetry})
 	case *proto.DeleteMemgest:
@@ -120,6 +126,11 @@ func (n *Node) handleJoin(from string, m *proto.Join) {
 	}
 	if !n.IsLeader() {
 		n.send(from, &proto.ConfigPush{Config: n.cfg.Clone()})
+		return
+	}
+	if n.pendingResize != nil {
+		// A leave fence owns reconfiguration; the joiner's tick-driven
+		// re-announce retries after it completes.
 		return
 	}
 	n.lastAck[m.Node] = n.now

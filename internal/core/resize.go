@@ -1,0 +1,209 @@
+package core
+
+import (
+	"time"
+
+	"ring/internal/proto"
+)
+
+// This file implements operator-driven cluster resizing: node join and
+// node leave as first-class Resize requests, built on the same
+// configuration machinery as failure replacement but with minimal data
+// movement as an explicit, measured property.
+//
+// Join is trivial by design: the new node enters as a spare, zero
+// placements change, and the configuration broadcast is the whole
+// protocol. Leave is a fence-then-announce: the leader builds the new
+// configuration with the departing node's roles substituted by a spare
+// (exactly stripRoles, the failure path — only the departing node's
+// slots change), pushes it to the departing node FIRST, and announces
+// it cluster-wide only once that node acked the fence (or went silent
+// past FailAfter, at which point leave degenerates into the failure
+// path it shares its mechanics with). Fencing first means the departing
+// node stops acting on its roles before any substitute starts
+// recovering them, so a graceful leave never yields two nodes serving
+// the same shard.
+
+// resizeState is the leader's in-flight leave fence (one at a time).
+type resizeState struct {
+	// client/req is the ResizeReply owed when the fence completes.
+	client string
+	req    proto.ReqID
+	// node is the departing node; cfg is the already-built configuration
+	// excluding it, held back until the fence acks.
+	node proto.NodeID
+	cfg  *proto.Config
+	// moved is configDelta(old, cfg), reported to the client and added
+	// to the ShardsMoved counter on completion.
+	moved uint32
+	// started drives the FailAfter escape hatch.
+	started time.Duration
+}
+
+// handleResize processes an operator join/leave request (leader only).
+func (n *Node) handleResize(from string, m *proto.Resize) {
+	fail := func(s proto.Status) { n.send(from, &proto.ResizeReply{Req: m.Req, Status: s}) }
+	if !n.IsLeader() {
+		fail(proto.StWrongNode)
+		return
+	}
+	if n.pendingResize != nil {
+		fail(proto.StRetry) // one resize at a time
+		return
+	}
+	switch m.Op {
+	case proto.ResizeJoin:
+		n.handleResizeJoin(from, m)
+	case proto.ResizeLeave:
+		n.handleResizeLeave(from, m)
+	default:
+		fail(proto.StInvalid)
+	}
+}
+
+// handleResizeJoin admits a node as a spare. No placement changes: the
+// join is a pure configuration broadcast, and the spare only starts
+// moving data if a later failure, leave, or transition assigns it
+// roles. Idempotent, so chaos schedules may repeat it freely.
+func (n *Node) handleResizeJoin(from string, m *proto.Resize) {
+	if m.Node == proto.NilNode {
+		n.send(from, &proto.ResizeReply{Req: m.Req, Status: proto.StInvalid})
+		return
+	}
+	if n.inConfig(m.Node) {
+		n.send(from, &proto.ResizeReply{Req: m.Req, Status: proto.StOK, Epoch: n.cfg.Epoch})
+		return
+	}
+	cfg := n.cfg.Clone()
+	cfg.Epoch++
+	cfg.Spares = append(cfg.Spares, m.Node)
+	n.lastAck[m.Node] = n.now
+	n.pushConfig(cfg)
+	n.send(from, &proto.ResizeReply{Req: m.Req, Status: proto.StOK, Epoch: cfg.Epoch})
+}
+
+// handleResizeLeave starts the fence for a graceful departure.
+func (n *Node) handleResizeLeave(from string, m *proto.Resize) {
+	fail := func(s proto.Status) { n.send(from, &proto.ResizeReply{Req: m.Req, Status: s}) }
+	if m.Node == n.id {
+		fail(proto.StInvalid) // the leader cannot fence itself
+		return
+	}
+	if !n.inConfig(m.Node) {
+		fail(proto.StNotFound)
+		return
+	}
+	if n.holdsDataRole(m.Node) && !n.spareAvailable(m.Node) {
+		// stripRoles without a spare would leave the departing node's
+		// roles assigned to it; a leave must fully vacate.
+		fail(proto.StUnavailable)
+		return
+	}
+	cfg := n.cfg.Clone()
+	cfg.Epoch++
+	stripRoles(cfg, m.Node)
+	n.pendingResize = &resizeState{
+		client: from, req: m.Req, node: m.Node, cfg: cfg,
+		moved: configDelta(n.cfg, cfg), started: n.now,
+	}
+	// Fence: only the departing node learns the new configuration for
+	// now. It installs a config that excludes itself and goes idle; its
+	// ConfigAck releases the cluster-wide announcement.
+	n.sendNode(m.Node, &proto.ConfigPush{Config: cfg.Clone()})
+}
+
+// spareAvailable reports whether a spare other than the departing node
+// exists to substitute into its roles.
+func (n *Node) spareAvailable(leaving proto.NodeID) bool {
+	for _, s := range n.cfg.Spares {
+		if s != leaving {
+			return true
+		}
+	}
+	return false
+}
+
+// handleConfigAck releases a pending fence once the departing node
+// acknowledged the fencing configuration. All other ConfigAck traffic
+// is informational and ignored.
+func (n *Node) handleConfigAck(from string, m *proto.ConfigAck) {
+	pr := n.pendingResize
+	if pr == nil || !n.IsLeader() {
+		return
+	}
+	id, ok := parseNodeAddr(from)
+	if !ok || id != pr.node || m.Epoch != pr.cfg.Epoch {
+		return
+	}
+	n.completeResize()
+}
+
+// completeResize announces the held-back configuration cluster-wide
+// and answers the operator. Substitutes recover the departing node's
+// roles through the normal takeover path; every placement slot the
+// configuration did not touch keeps its data where it is.
+func (n *Node) completeResize() {
+	pr := n.pendingResize
+	n.pendingResize = nil
+	delete(n.lastAck, pr.node)
+	n.pushConfig(pr.cfg)
+	n.Metrics.ShardsMoved.Add(uint64(pr.moved))
+	n.send(pr.client, &proto.ResizeReply{Req: pr.req, Status: proto.StOK, Moved: pr.moved, Epoch: pr.cfg.Epoch})
+}
+
+// resizeTick drives an in-flight fence: re-push to the departing node
+// (the fence ConfigPush may have been lost), and once it has been
+// silent past FailAfter complete anyway — the pending configuration
+// already strips its roles, so a dead departing node makes a graceful
+// leave identical to failure replacement.
+func (n *Node) resizeTick() {
+	pr := n.pendingResize
+	if n.now-pr.started > n.opts.FailAfter {
+		n.completeResize()
+		return
+	}
+	n.sendNode(pr.node, &proto.ConfigPush{Config: pr.cfg.Clone()})
+}
+
+// abandonResize cancels an in-flight fence when a configuration from
+// elsewhere overtakes it (leadership moved, or a competing leader's
+// push won the tie-break). The operator retries against the new
+// leader. Called from installConfig.
+func (n *Node) abandonResize(cfg *proto.Config) {
+	pr := n.pendingResize
+	if pr == nil || cfg.Epoch < pr.cfg.Epoch {
+		return
+	}
+	n.pendingResize = nil
+	n.send(pr.client, &proto.ResizeReply{Req: pr.req, Status: proto.StRetry})
+}
+
+// configDelta counts the placement slots that differ between two
+// configurations: coordinator slots, group redundancy slots, and each
+// memgest's redundancy slots (matched by memgest ID). It is the data
+// movement a reconfiguration induces — each changed slot is one shard
+// of state its new owner must recover — and what the minimal-movement
+// tests assert on.
+func configDelta(oldCfg, newCfg *proto.Config) uint32 {
+	var moved uint32
+	for i, c := range newCfg.Coords {
+		if i >= len(oldCfg.Coords) || oldCfg.Coords[i] != c {
+			moved++
+		}
+	}
+	for i, r := range newCfg.Redundant {
+		if i >= len(oldCfg.Redundant) || oldCfg.Redundant[i] != r {
+			moved++
+		}
+	}
+	for i := range newCfg.Memgests {
+		mi := &newCfg.Memgests[i]
+		omi := oldCfg.Memgest(mi.ID)
+		for j, r := range mi.Redundant {
+			if omi == nil || j >= len(omi.Redundant) || omi.Redundant[j] != r {
+				moved++
+			}
+		}
+	}
+	return moved
+}

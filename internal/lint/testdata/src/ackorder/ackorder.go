@@ -165,6 +165,52 @@ func (n *Node) handleForwarded(req uint64) {
 	n.persistVia(req)
 }
 
+// ---------------------------------------------------------------- journal
+
+// persistConvertBegin stands in for the transition journal: a durable
+// append that is also the journal barrier (both classes).
+func (n *Node) persistConvertBegin(seq uint64) {
+	n.log = append(n.log, seq)
+}
+
+// handleConvertClean journals the transition window open before the
+// ack; the convert journal satisfies persist and journal at once.
+//
+//ring:handler persist journal
+func (n *Node) handleConvertClean(req uint64) {
+	n.persistConvertBegin(req)
+	n.send(0, &MoveReply{Status: StOK})
+}
+
+// handleJournalIsPersist: the convert journal is itself a durable
+// append, so a plain persist obligation is satisfied by it too.
+//
+//ring:handler persist
+func (n *Node) handleJournalIsPersist(req uint64) {
+	n.persistConvertBegin(req)
+	n.send(0, &PutReply{Req: req, Status: StOK})
+}
+
+// handlePersistNotJournal persists — but an ordinary append is not the
+// transition journal, so only the journal class fires.
+//
+//ring:handler persist journal
+func (n *Node) handlePersistNotJournal(req uint64) {
+	n.persistVia(req)
+	n.send(0, &PutReply{Req: req, Status: StOK}) // want "emits PutReply before its journal barrier"
+	n.persistConvertBegin(req)
+}
+
+// handleJournalEarlyAck acks before any journal record exists: the
+// transition bug class (a crash in the gap loses the acknowledged
+// transition).
+//
+//ring:handler journal
+func (n *Node) handleJournalEarlyAck(req uint64) {
+	n.send(0, &PutReply{Req: req, Status: StOK}) // want "emits PutReply before its journal barrier"
+	n.persistConvertBegin(req)
+}
+
 // ---------------------------------------------------------------- exemption
 
 // handleChaos mirrors the deliberate ChaosUnsafeAck injection site:

@@ -14,6 +14,13 @@ const (
 	TOrphan                    // want `wire tag TOrphan has no message type`
 	TStat                      // fully paired: no diagnostics
 
+	// The elasticity vocabulary: transition and resize messages mirror
+	// internal/proto's TConvert/TResize family.
+	TConvert      // fully paired: no diagnostics
+	TConvertReply // Decode arm crossed with Convert
+	TResize       // fully paired: no diagnostics
+	TResizeReply  // want `wire tag TResizeReply has no case arm in Decode`
+
 	// TFrame is a frame envelope: written by the batcher, stripped
 	// before Decode ever runs, so it deliberately has no message type.
 	TFrame MsgType = 0xFF //ring:wireframe envelope tag
@@ -49,9 +56,31 @@ type Stat struct{ N int }
 func (*Stat) Type() MsgType   { return TStat }
 func (*Stat) encode(b []byte) {}
 
-func decPut(b []byte) *Put   { return &Put{} }
-func decGet(b []byte) *Get   { return &Get{} }
-func decStat(b []byte) *Stat { return &Stat{} }
+type Convert struct{ K string }
+
+func (*Convert) Type() MsgType   { return TConvert }
+func (*Convert) encode(b []byte) {}
+
+type ConvertReply struct{ Ver uint64 }
+
+func (*ConvertReply) Type() MsgType   { return TConvertReply }
+func (*ConvertReply) encode(b []byte) {}
+
+type Resize struct{ Node uint32 }
+
+func (*Resize) Type() MsgType   { return TResize }
+func (*Resize) encode(b []byte) {}
+
+type ResizeReply struct{ Moved uint32 }
+
+func (*ResizeReply) Type() MsgType   { return TResizeReply }
+func (*ResizeReply) encode(b []byte) {}
+
+func decPut(b []byte) *Put       { return &Put{} }
+func decGet(b []byte) *Get       { return &Get{} }
+func decStat(b []byte) *Stat     { return &Stat{} }
+func decConv(b []byte) *Convert  { return &Convert{} }
+func decResize(b []byte) *Resize { return &Resize{} }
 
 // Decode is the dispatch switch the analyzer pairs against Type().
 func Decode(b []byte) (interface{}, error) {
@@ -70,6 +99,15 @@ func Decode(b []byte) (interface{}, error) {
 		return m, nil
 	case TStat:
 		m := decStat(b[1:])
+		return m, nil
+	case TConvert:
+		m := decConv(b[1:])
+		return m, nil
+	case TConvertReply: // want `Decode arm for tag TConvertReply constructs \*Convert, but ConvertReply's Type\(\) returns TConvertReply`
+		m := decConv(b[1:])
+		return m, nil
+	case TResize:
+		m := decResize(b[1:])
 		return m, nil
 	}
 	return nil, errors.New("unknown tag")

@@ -16,6 +16,7 @@ const (
 	TraceGet
 	TraceDelete
 	TraceMove
+	TraceConvert
 )
 
 func (o TraceOp) String() string {
@@ -28,6 +29,8 @@ func (o TraceOp) String() string {
 		return "delete"
 	case TraceMove:
 		return "move"
+	case TraceConvert:
+		return "convert"
 	}
 	return "none"
 }

@@ -52,6 +52,12 @@ const (
 	// Membership (late addition, tagged after TTick to keep prior tags
 	// stable): a restarted node announcing itself to the leader.
 	TJoin
+	// Elasticity (tagged after TJoin to keep prior tags stable): online
+	// per-key scheme transitions and minimal-movement cluster resizing.
+	TConvert
+	TConvertReply
+	TResize
+	TResizeReply
 )
 
 // Status is the result code carried by replies.
@@ -209,6 +215,14 @@ func Decode(buf []byte) (Message, error) {
 		m = &Tick{}
 	case TJoin:
 		m = decJoin(r)
+	case TConvert:
+		m = decConvert(r)
+	case TConvertReply:
+		m = decConvertReply(r)
+	case TResize:
+		m = decResize(r)
+	case TResizeReply:
+		m = decResizeReply(r)
 	default:
 		return nil, errUnknownType(buf[0])
 	}
@@ -851,6 +865,113 @@ func (m *BlockFetchReply) encode(w *writer) {
 }
 func decBlockFetchReply(r *reader) *BlockFetchReply {
 	return &BlockFetchReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Block: r.u32(), Data: r.bytes()}
+}
+
+// -------------------------------------------------------------- elasticity
+
+// Convert asks a key's coordinator to re-encode it from its current
+// memgest into another — the paper's local scheme move made live as an
+// online transition. The re-encode happens entirely on the coordinator
+// (SRS co-location keeps the value local); reads and writes of the key
+// are parked over the short commit window and released when the new
+// version commits. With Prefix set, Key is a prefix and the receiving
+// coordinator converts every matching key it owns, answering with the
+// count.
+type Convert struct {
+	Req ReqID
+	Key string
+	// From restricts the conversion to keys currently in this memgest
+	// (0 = whichever memgest holds the key's highest version).
+	From MemgestID
+	// To is the destination memgest.
+	To MemgestID
+	// Prefix treats Key as a prefix (bulk conversion).
+	Prefix bool
+}
+
+func (*Convert) Type() MsgType { return TConvert }
+func (m *Convert) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.str(m.Key)
+	w.u32(uint32(m.From))
+	w.u32(uint32(m.To))
+	w.bool(m.Prefix)
+}
+func decConvert(r *reader) *Convert {
+	return &Convert{Req: ReqID(r.u64()), Key: r.str(), From: MemgestID(r.u32()), To: MemgestID(r.u32()), Prefix: r.bool()}
+}
+
+// ConvertReply acknowledges a committed conversion. Version is the new
+// version the key holds in the destination memgest (single-key form);
+// Converted counts the keys transitioned (prefix form).
+type ConvertReply struct {
+	Req       ReqID
+	Status    Status
+	Version   Version
+	Converted uint32
+}
+
+func (*ConvertReply) Type() MsgType { return TConvertReply }
+func (m *ConvertReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u64(uint64(m.Version))
+	w.u32(m.Converted)
+}
+func decConvertReply(r *reader) *ConvertReply {
+	return &ConvertReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Version: Version(r.u64()), Converted: r.u32()}
+}
+
+// ResizeOp selects the direction of a Resize.
+type ResizeOp uint8
+
+const (
+	// ResizeJoin admits a node into the cluster as a spare.
+	ResizeJoin ResizeOp = iota + 1
+	// ResizeLeave removes a node: the leader computes the minimal role
+	// reassignment, fences the departing node with the new configuration
+	// first (so it stops serving before anyone else moves), and only
+	// then announces cluster-wide.
+	ResizeLeave
+)
+
+// Resize asks the leader to grow or shrink the cluster by one node.
+type Resize struct {
+	Req  ReqID
+	Op   ResizeOp
+	Node NodeID
+}
+
+func (*Resize) Type() MsgType { return TResize }
+func (m *Resize) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Op))
+	w.u32(uint32(m.Node))
+}
+func decResize(r *reader) *Resize {
+	return &Resize{Req: ReqID(r.u64()), Op: ResizeOp(r.u8()), Node: NodeID(r.u32())}
+}
+
+// ResizeReply confirms a membership change. Moved counts the role
+// slots whose assignment actually changed — the minimal-movement
+// metric: a leave that substitutes one spare moves only that node's
+// slots, never the whole keyspace.
+type ResizeReply struct {
+	Req    ReqID
+	Status Status
+	Moved  uint32
+	Epoch  Epoch
+}
+
+func (*ResizeReply) Type() MsgType { return TResizeReply }
+func (m *ResizeReply) encode(w *writer) {
+	w.u64(uint64(m.Req))
+	w.u8(uint8(m.Status))
+	w.u32(m.Moved)
+	w.u64(uint64(m.Epoch))
+}
+func decResizeReply(r *reader) *ResizeReply {
+	return &ResizeReply{Req: ReqID(r.u64()), Status: Status(r.u8()), Moved: r.u32(), Epoch: Epoch(r.u64())}
 }
 
 // Tick is the local timer event delivered by runners; it never crosses

@@ -73,6 +73,11 @@ func TestRoundTripAllMessages(t *testing.T) {
 		&BlockFetchReply{Req: 15, Status: StOK, Block: 5, Data: []byte("blk")},
 		&Tick{},
 		&Join{Node: 3, Epoch: 9, Durable: true},
+		&Convert{Req: 16, Key: "k", From: 2, To: 4, Prefix: false},
+		&Convert{Req: 17, Key: "user:", From: 0, To: 3, Prefix: true},
+		&ConvertReply{Req: 16, Status: StOK, Version: 8, Converted: 2},
+		&Resize{Req: 18, Op: ResizeLeave, Node: 5},
+		&ResizeReply{Req: 18, Status: StOK, Moved: 4, Epoch: 11},
 	}
 	seen := make(map[MsgType]bool)
 	for _, m := range msgs {
@@ -83,7 +88,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 		seen[m.Type()] = true
 	}
 	// Every defined message type must be covered.
-	for ty := TPut; ty <= TTick; ty++ {
+	for ty := TPut; ty <= TResizeReply; ty++ {
 		if !seen[ty] {
 			t.Errorf("message type %d not covered by round-trip test", ty)
 		}

@@ -1,0 +1,125 @@
+package replog
+
+import (
+	"math/rand"
+	"testing"
+
+	"ring/internal/proto"
+	"ring/internal/wal"
+)
+
+// The transition journal's crash semantics: a conv-begin without its
+// conv-end after a crash proves the window was open, and recovery
+// surfaces it in OpenConverts exactly when the destination version
+// never committed — the old-or-new (never hybrid) guarantee at the
+// storage layer.
+
+// convRec names a destination key/version whose Memgest field records
+// the source memgest, as the core layer journals it.
+func convRec(key string, ver proto.Version, src proto.MemgestID) *proto.MetaRecord {
+	return &proto.MetaRecord{Key: key, Version: ver, Memgest: src, Length: 4}
+}
+
+func TestOpenConvertListedAfterCrash(t *testing.T) {
+	fs := wal.NewMemFS()
+	d := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+
+	// The window opens before the destination write-ahead append; the
+	// crash lands before the destination version commits.
+	cr := convRec("k", 8, 1)
+	if err := d.ConvertBegin(testSK, 5, cr); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(testSK, 5, rec("k", 8), val("k", 8), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash(rand.New(rand.NewSource(1)))
+
+	d2 := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+	rs := d2.Recovered()[testSK]
+	if rs == nil {
+		t.Fatal("shard lost")
+	}
+	if got := len(rs.OpenConverts); got != 1 {
+		t.Fatalf("OpenConverts = %d records, want 1", got)
+	}
+	oc := rs.OpenConverts[0]
+	if oc.Key != "k" || oc.Version != 8 || oc.Memgest != 1 {
+		t.Fatalf("OpenConverts[0] = %+v, want k@8 from memgest 1", oc)
+	}
+	// The rolled-back transition leaves no trace of the uncommitted
+	// destination version.
+	if e := shardEntry(t, rs, "k", 8); e != nil {
+		t.Fatalf("uncommitted destination version resurfaced: %+v", e)
+	}
+}
+
+func TestClosedConvertNotListed(t *testing.T) {
+	// Commit path: begin, destination append+commit, end — ordered
+	// before the ack would have escaped. Nothing is open at the crash.
+	fs := wal.NewMemFS()
+	d := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+	cr := convRec("k", 8, 1)
+	if err := d.ConvertBegin(testSK, 5, cr); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, d, testSK, 5, "k", 8)
+	mustCommit(t, d, testSK, 5, "k", 8)
+	if err := d.ConvertEnd(testSK, 5, cr); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash(rand.New(rand.NewSource(2)))
+
+	d2 := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+	rs := d2.Recovered()[testSK]
+	if rs == nil {
+		t.Fatal("shard lost")
+	}
+	if len(rs.OpenConverts) != 0 {
+		t.Fatalf("closed transition listed open: %+v", rs.OpenConverts)
+	}
+	e := shardEntry(t, rs, "k", 8)
+	if e == nil || !e.Rec.Committed {
+		t.Fatalf("committed destination version lost: %+v", e)
+	}
+}
+
+func TestAbortedConvertNotListed(t *testing.T) {
+	// Abort path: begin, uncommitted append, purge, end. The window
+	// closed before the crash, so recovery owes nothing.
+	fs := wal.NewMemFS()
+	d := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+	cr := convRec("k", 8, 1)
+	if err := d.ConvertBegin(testSK, 5, cr); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, d, testSK, 5, "k", 8)
+	if err := d.Purge(testSK, 5, "k", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConvertEnd(testSK, 5, cr); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs.Crash(rand.New(rand.NewSource(3)))
+
+	d2 := openDurable(t, fs, DurableOptions{Policy: FsyncAlways})
+	rs := d2.Recovered()[testSK]
+	if rs == nil {
+		t.Fatal("shard lost")
+	}
+	if len(rs.OpenConverts) != 0 {
+		t.Fatalf("aborted transition listed open: %+v", rs.OpenConverts)
+	}
+	if e := shardEntry(t, rs, "k", 8); e != nil {
+		t.Fatalf("purged destination version resurfaced: %+v", e)
+	}
+}

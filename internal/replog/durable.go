@@ -144,6 +144,13 @@ type RecoveredShard struct {
 	// need to send records with Seq > Since. 0 forces a full transfer
 	// (fresh store, unresolved gaps, or detected corruption).
 	Since proto.Seq
+	// OpenConverts lists scheme transitions whose journal window was
+	// open at the crash and whose destination version never committed:
+	// each rolled back to the source scheme (old-or-new, never hybrid).
+	// Rec.Key/Version name the destination version that was dropped;
+	// Rec.Memgest is the source memgest the key remains in. Recovery
+	// needs nothing from this — it exists for crash tests and metrics.
+	OpenConverts []proto.MetaRecord
 }
 
 type entryKey struct {
@@ -157,6 +164,15 @@ const (
 	kCommit = 2 // commit marker: the entry moved to Bitcask
 	kPurge  = 3 // version purged (GC or abort)
 	kReset  = 4 // all prior records of the shard are void (role shed)
+	// Scheme-transition journal (elasticity): kConvBegin opens a
+	// conversion window before the destination write-ahead append,
+	// kConvEnd closes it ordered before the ack (or on abort). A begin
+	// whose destination version never committed proves the transition
+	// rolled back to the source scheme — the old-or-new guarantee the
+	// crash tests pin. Rec carries the destination key/version; its
+	// Memgest field records the *source* memgest.
+	kConvBegin = 5
+	kConvEnd   = 6
 )
 
 // OpenDurable opens (or creates) the store in fsys, replaying the
@@ -191,6 +207,7 @@ func OpenDurable(fsys wal.FS, opts DurableOptions) (*Durable, error) {
 		purged     map[entryKey]bool
 		unresolved map[proto.Seq]entryKey
 		deferred   []entryKey // commits whose append is not in the WAL
+		convOpen   map[entryKey]proto.MetaRecord
 		maxSeq     proto.Seq
 	}
 	walSt := make(map[ShardKey]*walShard)
@@ -201,6 +218,7 @@ func OpenDurable(fsys wal.FS, opts DurableOptions) (*Durable, error) {
 				entries:    make(map[entryKey]*RecoveredEntry),
 				purged:     make(map[entryKey]bool),
 				unresolved: make(map[proto.Seq]entryKey),
+				convOpen:   make(map[entryKey]proto.MetaRecord),
 			}
 			walSt[sk] = st
 		}
@@ -232,6 +250,10 @@ func OpenDurable(fsys wal.FS, opts DurableOptions) (*Durable, error) {
 			if r.seq != 0 {
 				delete(st.unresolved, r.seq)
 			}
+		case kConvBegin:
+			st.convOpen[ek] = r.rec
+		case kConvEnd:
+			delete(st.convOpen, ek)
 		case kReset:
 			delete(walSt, r.sk)
 			return nil
@@ -367,6 +389,22 @@ func OpenDurable(fsys wal.FS, opts DurableOptions) (*Durable, error) {
 					rs.Since = seq - 1
 				}
 			}
+			// A conversion journaled open whose destination version never
+			// committed rolled back at the crash: the uncommitted append
+			// (if any survived) is dropped above, so the key remains in
+			// its source scheme.
+			for ek, rec := range st.convOpen {
+				if _, committed := fs.entries[ek]; !committed {
+					rs.OpenConverts = append(rs.OpenConverts, rec)
+				}
+			}
+			sort.Slice(rs.OpenConverts, func(i, j int) bool {
+				a, b := &rs.OpenConverts[i], &rs.OpenConverts[j]
+				if a.Key != b.Key {
+					return a.Key < b.Key
+				}
+				return a.Version < b.Version
+			})
 		}
 		if fs.full || d.damaged {
 			rs.Since = 0
@@ -496,6 +534,34 @@ func (d *Durable) Purge(sk ShardKey, seq proto.Seq, key string, ver proto.Versio
 	if seq != 0 {
 		d.resolve(sk, seq)
 	}
+	return nil
+}
+
+// ConvertBegin journals the opening of a scheme transition, BEFORE the
+// destination version's write-ahead append. sk addresses the
+// destination (memgest, shard); rec names the destination key/version
+// with its Memgest field recording the source memgest. A begin without
+// a matching end after a crash marks a transition that rolled back.
+func (d *Durable) ConvertBegin(sk ShardKey, seq proto.Seq, rec *proto.MetaRecord) error {
+	seg, err := d.w.Append(encodeWALRecord(kConvBegin, sk, seq, rec, nil, false))
+	if err != nil {
+		return err
+	}
+	d.segLive[seg]++
+	d.pendingSegs = append(d.pendingSegs, seg)
+	return nil
+}
+
+// ConvertEnd journals the close of a scheme transition — on commit it
+// must be appended before the client ack escapes (the ackorder journal
+// barrier); on abort it simply closes the window.
+func (d *Durable) ConvertEnd(sk ShardKey, seq proto.Seq, rec *proto.MetaRecord) error {
+	seg, err := d.w.Append(encodeWALRecord(kConvEnd, sk, seq, rec, nil, false))
+	if err != nil {
+		return err
+	}
+	d.segLive[seg]++
+	d.pendingSegs = append(d.pendingSegs, seg)
 	return nil
 }
 

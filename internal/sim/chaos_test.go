@@ -135,7 +135,7 @@ func TestChaosScheduleRoundTrip(t *testing.T) {
 // stepping, and a Restart brings up a fresh quarantined instance that
 // rejoins without inheriting any of that state.
 func TestKillRestartStaleEvents(t *testing.T) {
-	spec := chaosCluster(false)
+	spec := chaosCluster(false, false)
 	s, err := NewFromSpec(spec, DefaultModel())
 	if err != nil {
 		t.Fatal(err)
@@ -217,7 +217,7 @@ func TestParkedReadsSurviveCoordinatorKill(t *testing.T) {
 // mustChaosConfig boots the canonical chaos cluster configuration.
 func mustChaosConfig(t *testing.T) *proto.Config {
 	t.Helper()
-	cfg, err := core.BootConfig(chaosCluster(false))
+	cfg, err := core.BootConfig(chaosCluster(false, false))
 	if err != nil {
 		t.Fatal(err)
 	}

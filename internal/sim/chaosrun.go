@@ -31,6 +31,16 @@ type ChaosRunSpec struct {
 	// UnsafeAck injects the ack-before-quorum bug (core.Options.
 	// ChaosUnsafeAck) to validate that the checker catches it.
 	UnsafeAck bool
+	// UnsafeConvert injects the ack-before-journal transition bug
+	// (core.Options.ChaosUnsafeConvert): converts acknowledge before
+	// the destination write is quorum-durable and purge the source
+	// eagerly. Only observable with Elasticity (or an explicit schedule
+	// containing convert steps).
+	UnsafeConvert bool
+	// Elasticity makes the seed-generated schedule
+	// GenElasticitySchedule: live scheme conversions and join/leave
+	// resizes blended into the fault mix, driven by the control agent.
+	Elasticity bool
 	// CheckBudget caps linearizability search states per key (<=0:
 	// linearize.DefaultBudget).
 	CheckBudget int
@@ -60,6 +70,11 @@ type ChaosRunResult struct {
 	Check     linearize.Result
 	Faults    FaultStats
 	Abandoned int
+	// ElasticAcked/ElasticAbandoned count control-plane operations
+	// (converts, resizes) that completed or ran out of retries; zero on
+	// runs without elasticity steps.
+	ElasticAcked     int
+	ElasticAbandoned int
 	// Completed is true when every client finished before the horizon
 	// (false usually means the cluster wedged — worth investigating
 	// even when the history is clean).
@@ -71,7 +86,7 @@ type ChaosRunResult struct {
 // mixed group of RELIABLE memgests only — Rep(1) loses data on a
 // crash by design, so including it would make every crash a false
 // "violation".
-func chaosCluster(unsafeAck bool) core.ClusterSpec {
+func chaosCluster(unsafeAck, unsafeConvert bool) core.ClusterSpec {
 	return core.ClusterSpec{
 		Shards: 3, Redundant: 2, Spares: 2,
 		Memgests: []proto.Scheme{
@@ -91,8 +106,9 @@ func chaosCluster(unsafeAck bool) core.ClusterSpec {
 			// window into a spurious-failover storm in which live
 			// coordinators are deposed mid-write — a fault model the
 			// protocol (like the paper's) does not claim to survive.
-			FailAfter:      4 * time.Millisecond,
-			ChaosUnsafeAck: unsafeAck,
+			FailAfter:          4 * time.Millisecond,
+			ChaosUnsafeAck:     unsafeAck,
+			ChaosUnsafeConvert: unsafeConvert,
 		},
 	}
 }
@@ -106,7 +122,7 @@ func chaosMemgests() []proto.MemgestID { return []proto.MemgestID{1, 2, 3, 4} }
 // linearizability.
 func RunChaos(spec ChaosRunSpec) ChaosRunResult {
 	spec = spec.withDefaults()
-	cluster := chaosCluster(spec.UnsafeAck)
+	cluster := chaosCluster(spec.UnsafeAck, spec.UnsafeConvert)
 	cfg, err := core.BootConfig(cluster)
 	if err != nil {
 		panic(err) // static spec; cannot fail
@@ -121,15 +137,6 @@ func RunChaos(spec ChaosRunSpec) ChaosRunResult {
 	}
 	s.EnableTicks(100 * time.Microsecond)
 
-	sched := GenSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
-	if spec.Durable {
-		sched = GenDurableSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
-	}
-	if spec.Schedule != nil {
-		sched = *spec.Schedule
-	}
-	sched.Apply(s, spec.Seed*1_000_000_007+12345)
-
 	w := spec.Workload.withDefaults()
 	w.Seed = spec.Seed
 	if len(w.Memgests) == 0 {
@@ -140,10 +147,25 @@ func RunChaos(spec ChaosRunSpec) ChaosRunResult {
 		// faults land on in-flight traffic.
 		w.ThinkTime = spec.Active / time.Duration(w.OpsPerClient)
 	}
+
+	sched := GenSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
+	if spec.Durable {
+		sched = GenDurableSchedule(spec.Seed, cfg.AllNodes(), spec.Active)
+	}
+	if spec.Elasticity {
+		// Converts target the workload's keyspace and memgests so
+		// transitions land on keys with live traffic.
+		sched = GenElasticitySchedule(spec.Seed, cfg.AllNodes(), spec.Active, w.Keys, w.Memgests)
+	}
+	if spec.Schedule != nil {
+		sched = *spec.Schedule
+	}
+	sched.Apply(s, spec.Seed*1_000_000_007+12345)
+
 	h := NewChaosHarness(s, cfg, w)
 	hist := h.Run(spec.Horizon)
 
-	return ChaosRunResult{
+	res := ChaosRunResult{
 		Schedule:  sched,
 		History:   hist,
 		Check:     linearize.Check(hist, spec.CheckBudget),
@@ -151,6 +173,11 @@ func RunChaos(spec ChaosRunSpec) ChaosRunResult {
 		Abandoned: h.Abandoned,
 		Completed: h.Done(),
 	}
+	if s.elastic != nil {
+		res.ElasticAcked = s.elastic.Acked
+		res.ElasticAbandoned = s.elastic.Abandoned
+	}
+	return res
 }
 
 // ShrinkSchedule greedily removes nemesis steps while the violation

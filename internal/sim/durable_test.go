@@ -115,7 +115,7 @@ func TestDurableCorruptionDetected(t *testing.T) {
 // make durable.
 func TestDurableFsyncErrorCrashStops(t *testing.T) {
 	cfg := mustChaosConfig(t)
-	s := New(cfg, chaosCluster(false).Opts, DefaultModel())
+	s := New(cfg, chaosCluster(false, false).Opts, DefaultModel())
 	if err := s.EnableDurable(42, replog.DurableOptions{Policy: replog.FsyncAlways}); err != nil {
 		t.Fatal(err)
 	}

@@ -50,6 +50,14 @@ const (
 	NemFsyncOK
 	// NemFsyncSlow makes node A's fsyncs 10x slower.
 	NemFsyncSlow
+	// NemConvert issues a live scheme transition of workload key
+	// "k<A>" to memgest B through the control agent (elastic.go),
+	// which retries and re-resolves like an operator would.
+	NemConvert
+	// NemJoin admits node A into the cluster as a spare (idempotent).
+	NemJoin
+	// NemLeave gracefully removes node A: fence first, then announce.
+	NemLeave
 )
 
 // NemesisStep is one scheduled fault action.
@@ -87,6 +95,12 @@ func (st NemesisStep) String() string {
 		return fmt.Sprintf("%s:fsyncok:%d", st.At, st.A)
 	case NemFsyncSlow:
 		return fmt.Sprintf("%s:fsyncslow:%d", st.At, st.A)
+	case NemConvert:
+		return fmt.Sprintf("%s:convert:%d:%d", st.At, st.A, st.B)
+	case NemJoin:
+		return fmt.Sprintf("%s:join:%d", st.At, st.A)
+	case NemLeave:
+		return fmt.Sprintf("%s:leave:%d", st.At, st.A)
 	}
 	return fmt.Sprintf("%s:unknown", st.At)
 }
@@ -162,7 +176,7 @@ func ParseSchedule(text string) (Schedule, error) {
 			st.Kind = NemHealAll
 		case "calm":
 			st.Kind = NemCalm
-		case "corrupt", "fsyncerr", "fsyncok", "fsyncslow":
+		case "corrupt", "fsyncerr", "fsyncok", "fsyncslow", "join", "leave":
 			switch fields[1] {
 			case "corrupt":
 				st.Kind = NemCorrupt
@@ -172,8 +186,20 @@ func ParseSchedule(text string) (Schedule, error) {
 				st.Kind = NemFsyncOK
 			case "fsyncslow":
 				st.Kind = NemFsyncSlow
+			case "join":
+				st.Kind = NemJoin
+			case "leave":
+				st.Kind = NemLeave
 			}
 			if st.A, err = node(2); err != nil {
+				return s, err
+			}
+		case "convert":
+			st.Kind = NemConvert
+			if st.A, err = node(2); err != nil {
+				return s, err
+			}
+			if st.B, err = node(3); err != nil {
 				return s, err
 			}
 		case "flaky":
@@ -320,7 +346,7 @@ func (s Schedule) Apply(sim *Sim, faultSeed int64) {
 	rng := rand.New(rand.NewSource(faultSeed))
 	for _, st := range s.Steps {
 		step := st
-		sim.At(step.At, func(time.Duration) {
+		sim.At(step.At, func(now time.Duration) {
 			switch step.Kind {
 			case NemKill:
 				if !sim.Dead(step.A) {
@@ -362,6 +388,8 @@ func (s Schedule) Apply(sim *Sim, faultSeed int64) {
 				sim.FailDisk(step.A, false)
 			case NemFsyncSlow:
 				sim.SlowDisk(step.A, true)
+			case NemConvert, NemJoin, NemLeave:
+				sim.elasticAgent().launch(now, step)
 			}
 		})
 	}
@@ -381,7 +409,12 @@ func (s Schedule) Apply(sim *Sim, faultSeed int64) {
 // tested, via the chaos client's own timeouts and retries.
 func dupSafe(msg proto.Message) bool {
 	switch msg.(type) {
-	case *proto.Put, *proto.Delete, *proto.Move, *proto.ParityUpdate:
+	case *proto.Put, *proto.Delete, *proto.Move, *proto.ParityUpdate,
+		// A duplicated Convert re-executes after the first completed and
+		// allocates a fresh version in the destination; a duplicated
+		// Resize can fence a node that just rejoined. Both are client
+		// writes in the same exactly-once contract as Put.
+		*proto.Convert, *proto.Resize:
 		return false
 	}
 	return true

@@ -172,6 +172,10 @@ type Sim struct {
 	// Disk fault plane (see durable.go); nil unless EnableDurable ran.
 	dur *durPlane
 
+	// Elasticity control agent (see elastic.go); nil until the first
+	// convert/join/leave nemesis step fires.
+	elastic *nemesisAgent
+
 	// Delivered counts messages delivered, for sanity checks.
 	Delivered uint64
 	// BytesOnWire sums delivered payload bytes, for the ablations that

@@ -42,11 +42,14 @@ type Waiter struct {
 	Req    proto.ReqID
 }
 
-// MoveWaiter identifies a parked move.
+// MoveWaiter identifies a parked move (or, with Convert set, a parked
+// scheme transition — released through the journaled convert path
+// instead of the plain move path).
 type MoveWaiter struct {
-	Client string
-	Req    proto.ReqID
-	Dst    proto.MemgestID
+	Client  string
+	Req     proto.ReqID
+	Dst     proto.MemgestID
+	Convert bool
 }
 
 // MetaTable is the metadata hashtable of one memgest shard. The
@@ -239,6 +242,17 @@ func (v *VolatileIndex) Older(key string, ver proto.Version) []VersionRef {
 
 // Keys returns the number of distinct keys.
 func (v *VolatileIndex) Keys() int { return len(v.m) }
+
+// EachKey calls fn for every key in the index until fn returns false.
+// Iteration order is unspecified (map order); callers that need
+// determinism must collect and sort.
+func (v *VolatileIndex) EachKey(fn func(key string) bool) {
+	for k := range v.m {
+		if !fn(k) {
+			return
+		}
+	}
+}
 
 // Clear empties the index (used before a rebuild).
 func (v *VolatileIndex) Clear() {

@@ -27,7 +27,10 @@
 #   ISSUE=7        issue number recorded in BENCH_OUT
 #
 # Any extra arguments are passed to ringload verbatim; with none, the
-# full BENCH suite (GF kernels + closed-loop rep3 and srs3.2) runs.
+# full BENCH suite runs: GF kernels, closed-loop rep3 and srs3.2, and
+# the rep3+bulkconv elasticity row (the same closed-loop workload
+# measured while a background bulk conversion churns the key space
+# between the two memgests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -100,7 +103,7 @@ fi
 
 if [ "$DURABLE" != "1" ]; then
   boot_cluster "$BASE_PORT"
-  run_load "${bench[@]}" "${gate[@]}" -suite
+  run_load "${bench[@]}" "${gate[@]}" -suite -convert
   exit 0
 fi
 
@@ -113,7 +116,7 @@ data_dir="$(mktemp -d)"
 trap 'stop_cluster; rm -rf "$data_dir"' EXIT
 
 boot_cluster "$BASE_PORT"
-run_load "${bench[@]}" -suite
+run_load "${bench[@]}" -suite -convert
 stop_cluster
 
 boot_cluster "$((BASE_PORT + 100))" -data-dir "$data_dir/always" -fsync always
